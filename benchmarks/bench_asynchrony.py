@@ -1,0 +1,32 @@
+"""Fair partial activation (E15).
+
+Regenerates the activation-robustness table and benchmarks one p = 0.5
+run at n = 16 (roughly 2x the synchronous round count, each round
+cheaper since only half the peers step).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.experiments.asynchrony import (
+    format_asynchrony,
+    rounds_to_ideal_under_activation,
+    run_asynchrony,
+)
+
+SIZES = (8, 16, 32)
+
+
+def test_partial_activation(benchmark):
+    result = run_asynchrony(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("asynchrony", format_asynchrony(result))
+    for n in SIZES:
+        row = result[n]
+        # convergence survives partial activation, stretched sub-4/p
+        assert row["rounds_p40"].mean >= row["rounds_p100"].mean
+        assert row["stretch_p40"].mean <= 10.0
+
+    benchmark.pedantic(
+        rounds_to_ideal_under_activation, args=(16, 2011, 0.5), rounds=3, iterations=1
+    )

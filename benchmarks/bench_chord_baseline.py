@@ -1,0 +1,38 @@
+"""E8 — classic Chord vs Re-Chord self-stabilization.
+
+Regenerates the recovery-rate table (two-ring and random starts) and
+benchmarks classic Chord's maintenance throughput (rounds of
+stabilize/notify/fix_fingers on a correct 32-peer ring).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.chord.network import ChordNetwork
+from repro.experiments.baseline import format_baseline, run_baseline
+from repro.idspace.ring import IdSpace
+from repro.workloads.initial import random_peer_ids
+
+SIZES = (8, 16, 32)
+
+
+def test_chord_vs_rechord(benchmark):
+    result = run_baseline(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("chord_baseline", format_baseline(result))
+    for n in SIZES:
+        row = result[n]
+        assert row["chord_tworing_recovered"].mean == 0.0
+        assert row["rechord_tworing_recovered"].mean == 1.0
+        assert row["rechord_random_recovered"].mean == 1.0
+
+    space = IdSpace()
+    ids = random_peer_ids(32, random.Random(1), space)
+    net = ChordNetwork.perfect_ring(ids, space, fingers_per_round=2)
+
+    def maintenance_rounds():
+        net.run(10)
+
+    benchmark(maintenance_rounds)

@@ -1,0 +1,35 @@
+"""§6 extension — economical rule-3 broadcast.
+
+Regenerates the economy comparison table and benchmarks one economical
+stabilization at n = 32 (should be no slower than the faithful mode
+benched in bench_fig5_edges_nodes).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.core.rules import RuleConfig
+from repro.experiments.economy import format_economy, run_economy
+from repro.workloads.initial import build_random_network
+
+SIZES = (8, 16, 32)
+
+
+def eco_unit(n: int, seed: int) -> int:
+    net = build_random_network(
+        n=n, seed=seed, config=RuleConfig(economical_broadcast=True)
+    )
+    return net.run_until_stable(max_rounds=20_000).rounds_to_stable
+
+
+def test_economy_broadcast(benchmark):
+    result = run_economy(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("economy_broadcast", format_economy(result))
+    for n in SIZES:
+        row = result[n]
+        # convergence speed preserved, steady traffic reduced
+        assert row["rounds_eco"].mean <= row["rounds_full"].mean + 2
+        assert row["steady_saving"].mean > 0.1
+
+    benchmark.pedantic(eco_unit, args=(32, 2011), rounds=3, iterations=1)

@@ -1,0 +1,37 @@
+"""E11 — simulation-engine throughput.
+
+Not a paper figure: regression benchmarks for the engine itself, so
+that future changes to the rule pipeline or the fingerprinting stay
+honest.  Timed units:
+
+* one synchronous round on a stable 64-peer network (steady-state flow
+  is the hot path: candidate announcements + connection streams);
+* one global fingerprint of the same network;
+* building a 64-peer random initial state.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.initial import build_random_network
+
+
+def _stable_network(n: int = 64, seed: int = 2011):
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=20_000)
+    return net
+
+
+def test_round_throughput(benchmark):
+    net = _stable_network()
+    benchmark(net.run_round)
+
+
+def test_fingerprint_cost(benchmark):
+    net = _stable_network()
+    benchmark(net.fingerprint)
+
+
+def test_build_cost(benchmark):
+    benchmark.pedantic(
+        build_random_network, kwargs={"n": 64, "seed": 1}, rounds=5, iterations=1
+    )

@@ -1,0 +1,27 @@
+"""Figure 5 — edges and nodes at stabilization (E1).
+
+Regenerates the paper's Fig. 5 series (normal edges, connection edges,
+virtual nodes vs. n) and benchmarks the underlying unit of work: one
+full stabilization at n = 45.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_FIG_SIZES, BENCH_SEEDS, emit
+
+from repro.experiments.fig5 import format_fig5, measure_one, run_fig5
+
+
+def test_fig5_series(benchmark):
+    result = run_fig5(sizes=BENCH_FIG_SIZES, seeds=BENCH_SEEDS)
+    emit("fig5", format_fig5(result))
+    # sanity: the paper's qualitative shapes
+    ns = sorted(result)
+    virtuals = [result[n]["virtual_nodes"].mean for n in ns]
+    assert all(a < b for a, b in zip(virtuals, virtuals[1:])), "virtual nodes must grow"
+    conn = [result[n]["connection_edges"].mean for n in ns]
+    normal = [result[n]["normal_edges"].mean for n in ns]
+    # connection edges overtake normal edges as n grows (paper Fig. 5)
+    assert conn[-1] / normal[-1] > conn[0] / normal[0]
+
+    benchmark.pedantic(measure_one, args=(45, 2011), rounds=3, iterations=1)

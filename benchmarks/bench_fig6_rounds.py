@@ -1,0 +1,27 @@
+"""Figure 6 — rounds to stable / almost-stable state (E2).
+
+Regenerates the Fig. 6 series and benchmarks one tracked stabilization
+at n = 45 (the almost-stable detector adds per-round ideal comparisons,
+so it is timed separately from Fig. 5's plain run).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_FIG_SIZES, BENCH_SEEDS, emit
+
+from repro.experiments.fig6 import format_fig6, measure_one, run_fig6
+
+
+def test_fig6_series(benchmark):
+    result = run_fig6(sizes=BENCH_FIG_SIZES, seeds=BENCH_SEEDS)
+    emit("fig6", format_fig6(result))
+    for n in result:
+        row = result[n]
+        assert row["rounds_almost"].mean <= row["rounds_stable"].mean
+    # growth stays far below the O(n log n) bound: sublinear-to-linear
+    ns = sorted(result)
+    first, last = ns[0], ns[-1]
+    growth = result[last]["rounds_stable"].mean / max(1.0, result[first]["rounds_stable"].mean)
+    assert growth <= (last / first), "rounds must grow at most linearly in n"
+
+    benchmark.pedantic(measure_one, args=(45, 2011), rounds=3, iterations=1)

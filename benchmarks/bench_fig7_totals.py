@@ -1,0 +1,18 @@
+"""Figure 7 — total edges vs. total nodes in the final graph (E3)."""
+
+from __future__ import annotations
+
+from conftest import BENCH_FIG_SIZES, BENCH_SEEDS, emit
+
+from repro.experiments.fig5 import measure_one
+from repro.experiments.fig7 import format_fig7, run_fig7
+
+
+def test_fig7_scatter(benchmark):
+    result = run_fig7(sizes=BENCH_FIG_SIZES, seeds=BENCH_SEEDS)
+    emit("fig7", format_fig7(result))
+    # the paper: total edges grow at a rate comparable to total nodes
+    assert 2.0 <= result.slope <= 20.0
+    assert result.edges_per_node() >= 2.0
+
+    benchmark.pedantic(measure_one, args=(25, 7), rounds=3, iterations=1)

@@ -1,0 +1,40 @@
+"""Fact 2.1 + O(log n) lookups (E7).
+
+Regenerates the Chord-coverage / hop-count table and benchmarks a batch
+of 50 greedy lookups on a stabilized 64-peer overlay.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.dht.lookup import ReChordRouter
+from repro.experiments.lookup import format_lookup, run_lookup
+from repro.workloads.initial import build_random_network
+
+SIZES = (8, 16, 32, 64)
+
+
+def test_lookup_hops(benchmark):
+    result = run_lookup(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("lookup_hops", format_lookup(result))
+    for n in SIZES:
+        assert result[n]["chord_coverage"].mean == 1.0, "Fact 2.1 must hold"
+    # normalized hops stay bounded (logarithmic routing)
+    norms = [result[n]["hops_over_log2"].mean for n in SIZES]
+    assert max(norms) < 1.5
+
+    net = build_random_network(n=64, seed=2011)
+    net.run_until_stable(max_rounds=20_000)
+    router = ReChordRouter(net)
+    rng = random.Random(0)
+    pairs = [
+        (rng.choice(net.peer_ids), rng.randrange(net.space.size)) for _ in range(50)
+    ]
+
+    def lookup_batch():
+        return sum(router.route_id(s, k).hops for s, k in pairs)
+
+    benchmark(lookup_batch)

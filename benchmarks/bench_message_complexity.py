@@ -1,0 +1,24 @@
+"""E12 — message complexity over time.
+
+Regenerates the per-round message profile and benchmarks one traced
+stabilization (tracing is O(1)/round, so this doubles as a regression
+guard on the tracing overhead).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.messages import format_messages, run_messages
+
+
+def test_message_complexity(benchmark):
+    profile = run_messages(n=32)
+    emit("message_complexity", format_messages(profile))
+    assert profile.peak > 0
+    # messages ramp up from the sparse initial graph toward the steady
+    # flow; the first round is never the peak
+    assert profile.series[0] < profile.peak
+    assert profile.steady_rate > 0
+
+    benchmark.pedantic(run_messages, kwargs={"n": 24}, rounds=3, iterations=1)

@@ -1,0 +1,25 @@
+"""Proof-phase completion rounds (Lemmas 3.2–3.11).
+
+Regenerates the phase table and benchmarks one instrumented run (all
+five phase predicates sampled every round) at n = 32.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.experiments.phases import format_phases, measure_one, run_phases
+
+SIZES = (8, 16, 32)
+
+
+def test_phase_completion(benchmark):
+    result = run_phases(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("phase_completion", format_phases(result))
+    for n in SIZES:
+        row = result[n]
+        # proof order: connection first, cleanup last
+        assert row["connection"].mean <= row["cleanup"].mean
+        assert row["ring"].mean <= row["cleanup"].mean
+
+    benchmark.pedantic(measure_one, args=(32, 2011), rounds=3, iterations=1)

@@ -1,0 +1,24 @@
+"""Theorem 1.1 — stabilization scaling (E4).
+
+Regenerates the scaling table (rounds vs. n with normalized columns)
+and benchmarks one n = 64 stabilization.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.experiments.scaling import format_scaling, measure_one, run_scaling
+
+SIZES = (8, 16, 32, 64)
+
+
+def test_theorem11_scaling(benchmark):
+    result = run_scaling(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("theorem11_scaling", format_scaling(result))
+    # the O(n log n)-normalized rounds must fall as n grows (the bound
+    # is loose — the paper's own observation)
+    norm = [result[n]["rounds_over_nlogn"].mean for n in SIZES]
+    assert norm[-1] < norm[0]
+
+    benchmark.pedantic(measure_one, args=(64, 2011), rounds=3, iterations=1)

@@ -1,0 +1,38 @@
+"""Theorem 4.1 — join recovery (E5).
+
+Regenerates the churn-recovery table and benchmarks the join path in
+isolation: stabilize at n = 32, join one peer, re-stabilize.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.experiments.join_leave import format_join_leave, run_join_leave
+from repro.workloads.initial import build_random_network, random_peer_ids
+
+SIZES = (8, 16, 32, 64)
+
+
+def join_unit(n: int, seed: int) -> int:
+    rng = random.Random(seed)
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=20_000)
+    new_id = random_peer_ids(1, rng, net.space)[0]
+    while new_id in net.peers:
+        new_id = random_peer_ids(1, rng, net.space)[0]
+    net.join(new_id, rng.choice(net.peer_ids))
+    return net.run_until_stable(max_rounds=20_000).rounds_to_stable
+
+
+def test_theorem41_join(benchmark):
+    result = run_join_leave(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("theorem41_join", format_join_leave(result))
+    # join cost must grow slower than linearly in n (polylog claim)
+    first, last = SIZES[0], SIZES[-1]
+    ratio = result[last]["join_rounds"].mean / max(1.0, result[first]["join_rounds"].mean)
+    assert ratio < (last / first), "join recovery must scale sublinearly"
+
+    benchmark.pedantic(join_unit, args=(32, 2011), rounds=3, iterations=1)

@@ -1,0 +1,39 @@
+"""Theorem 4.2 — leave/crash recovery (E6).
+
+The recovery table is shared with bench_theorem41_join (one sweep
+regenerates both theorems' columns); this module asserts the
+leave-specific shapes and benchmarks the crash-repair path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import BENCH_SEEDS, emit
+
+from repro.experiments.join_leave import format_join_leave, run_join_leave
+from repro.workloads.initial import build_random_network
+
+SIZES = (8, 16, 32, 64)
+
+
+def crash_unit(n: int, seed: int) -> int:
+    rng = random.Random(seed)
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=20_000)
+    net.crash(rng.choice(net.peer_ids))
+    return net.run_until_stable(max_rounds=20_000).rounds_to_stable
+
+
+def test_theorem42_leave(benchmark):
+    result = run_join_leave(sizes=SIZES, seeds=BENCH_SEEDS)
+    emit("theorem42_leave", format_join_leave(result))
+    for n in SIZES:
+        row = result[n]
+        # leaves are cheaper than joins on average (O(log n) vs O(log^2 n))
+        assert row["leave_rounds"].mean <= row["join_rounds"].mean + 2
+    first, last = SIZES[0], SIZES[-1]
+    ratio = result[last]["leave_rounds"].mean / max(1.0, result[first]["leave_rounds"].mean)
+    assert ratio < (last / first), "leave recovery must scale sublinearly"
+
+    benchmark.pedantic(crash_unit, args=(32, 2011), rounds=3, iterations=1)

@@ -1,0 +1,23 @@
+"""Routability during convergence (E16).
+
+Regenerates the routability profile and benchmarks one instrumented run
+(per-round lookup sampling on top of stabilization).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.usability import format_usability, run_usability
+
+
+def test_usability_profile(benchmark):
+    profile = run_usability(n=24, samples=30)
+    emit("usability", format_usability(profile))
+    assert profile.series[-1] == 1.0
+    # lookups work before the configuration fixpoint
+    assert profile.first_full_routability() <= profile.rounds_to_stable
+
+    benchmark.pedantic(
+        run_usability, kwargs={"n": 16, "seed": 1, "samples": 20}, rounds=3, iterations=1
+    )

@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Every benchmark module regenerates one table/figure of the paper: the
+table itself is computed once (unbenchmarked), printed, and written to
+``benchmarks/results/<name>.txt``; the *timed* portion is a single
+representative unit of work so pytest-benchmark reports a meaningful,
+stable number.
+
+Sweep breadth is controlled by the ``RECHORD_BENCH_SEEDS`` environment
+variable (default 3; the paper uses 30 — use the CLI, e.g.
+``python -m repro fig5 --seeds 30``, for full-fidelity tables).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: repetitions per sweep cell used inside benchmarks
+BENCH_SEEDS = int(os.environ.get("RECHORD_BENCH_SEEDS", "3"))
+
+#: reduced size ladder for paper-figure sweeps inside benchmarks
+BENCH_FIG_SIZES = (5, 15, 25, 45, 65)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")

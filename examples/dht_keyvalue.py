@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""A replicated key-value store on top of the stabilized overlay.
+
+Fact 2.1 makes the stable Re-Chord network a drop-in Chord: this example
+stores 100 keys with 3-way ring-successor replication, routes lookups
+greedily (O(log n) hops), crashes a replica holder, re-stabilizes, and
+shows that every key survives.
+
+Run:  python examples/dht_keyvalue.py
+"""
+
+import random
+import statistics
+
+from repro import build_random_network
+from repro.dht import KeyValueStore, ReChordRouter
+
+
+def main() -> None:
+    net = build_random_network(n=20, seed=2024)
+    net.run_until_stable(max_rounds=2000)
+    print(f"overlay       : {len(net.peers)} peers stabilized")
+
+    router = ReChordRouter(net)
+    store = KeyValueStore(router, replication=3)
+    rng = random.Random(1)
+
+    keys = {f"user:{i}": {"name": f"user-{i}", "score": i * i} for i in range(100)}
+    for key, value in keys.items():
+        store.put(key, value, via=rng.choice(net.peer_ids))
+    print(f"stored        : {len(keys)} keys, {store.total_placements()} placements (r=3)")
+
+    hops = []
+    for key, value in keys.items():
+        via = rng.choice(net.peer_ids)
+        assert store.get(key, via=via) == value
+        hops.append(router.route_key(via, key).hops)
+    print(f"lookups       : 100/100 correct, hops mean={statistics.fmean(hops):.2f} max={max(hops)}")
+
+    loads = sorted(store.load_per_peer().values())
+    print(f"load balance  : min={loads[0]} median={loads[len(loads)//2]} max={loads[-1]} keys/peer")
+
+    victim = rng.choice(net.peer_ids)
+    net.crash(victim)
+    net.run_until_stable(max_rounds=2000)
+    store.drop_peer(victim)
+    moved = store.rebalance()
+    print(f"crash + heal  : peer removed, overlay re-stabilized, {moved} placements moved")
+
+    survivors = sum(1 for key, value in keys.items() if store.get(key) == value)
+    print(f"durability    : {survivors}/{len(keys)} keys intact after the crash")
+    assert survivors == len(keys)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Re-Chord: a self-stabilizing Chord overlay network (SPAA 2011).
+
+Full reproduction of Kniesburges, Koutsopoulos & Scheideler's Re-Chord:
+the self-stabilizing protocol itself (:mod:`repro.core`), the synchronous
+message-passing substrate (:mod:`repro.netsim`), identifier-space
+arithmetic (:mod:`repro.idspace`), classic Chord and linearization
+baselines (:mod:`repro.chord`, :mod:`repro.linearize`), a DHT layer on
+top of the stabilized overlay (:mod:`repro.dht`), workload generators
+(:mod:`repro.workloads`) and the experiment harness regenerating every
+figure of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ReChordNetwork, build_random_network
+
+    net = build_random_network(n=32, seed=1)
+    report = net.run_until_stable(track_almost=True)
+    assert net.matches_ideal()
+"""
+
+from repro.idspace import IdSpace
+from repro.core import (
+    NodeRef,
+    ReChordNetwork,
+    RuleConfig,
+    compute_ideal,
+)
+from repro.workloads import build_random_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IdSpace",
+    "NodeRef",
+    "ReChordNetwork",
+    "RuleConfig",
+    "compute_ideal",
+    "build_random_network",
+    "__version__",
+]

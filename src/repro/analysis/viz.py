@@ -1,0 +1,85 @@
+"""Overlay visualization: ASCII ring summaries and Graphviz DOT export.
+
+Debug/documentation helpers: ``ascii_ring`` prints every simulated node
+in sorted order with its outgoing pointers (the form the linearization
+proof reasons about); ``to_dot`` emits a DOT graph with one style per
+edge kind for rendering with Graphviz.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.network import ReChordNetwork
+from repro.graphs.digraph import EdgeKind
+
+#: DOT styling per edge kind
+_DOT_STYLE = {
+    EdgeKind.UNMARKED: 'color="black"',
+    EdgeKind.RING: 'color="red", style="bold"',
+    EdgeKind.CONNECTION: 'color="blue", style="dashed"',
+    EdgeKind.REAL_POINTER: 'color="green", style="dotted"',
+}
+
+
+def _short(ident: int, width: int = 6) -> str:
+    text = f"{ident:x}"
+    return text[:width] if len(text) > width else text
+
+
+def ascii_ring(net: ReChordNetwork, max_nodes: int = 64) -> str:
+    """One line per simulated node, sorted, with pointer summary."""
+    rows: List[str] = []
+    refs = []
+    nodes = {}
+    for pid in sorted(net.peers):
+        for level in sorted(net.peers[pid].state.nodes):
+            node = net.peers[pid].state.nodes[level]
+            refs.append(node.ref)
+            nodes[node.ref] = node
+    refs.sort(key=lambda r: r.key)
+    header = f"{len(net.peers)} peers, {len(refs)} nodes (sorted by id)"
+    rows.append(header)
+    rows.append("-" * len(header))
+    shown = refs if len(refs) <= max_nodes else refs[: max_nodes // 2] + refs[-max_nodes // 2 :]
+    skipped = len(refs) - len(shown)
+    for i, ref in enumerate(shown):
+        if skipped and i == max_nodes // 2:
+            rows.append(f"... {skipped} nodes omitted ...")
+        node = nodes[ref]
+        kind = "●" if ref.is_real else "○"
+        label = f"{kind} {_short(ref.id):>6} (peer {_short(ref.owner)}, L{ref.level})"
+        out = []
+        if node.nu:
+            out.append("nu:" + ",".join(_short(t.id) for t in sorted(node.nu, key=lambda r: r.key)))
+        if node.nr:
+            out.append("nr:" + ",".join(_short(t.id) for t in sorted(node.nr, key=lambda r: r.key)))
+        if node.nc:
+            out.append("nc:" + ",".join(_short(t.id) for t in sorted(node.nc, key=lambda r: r.key)))
+        wraps = node.wrap_refs()
+        if wraps:
+            out.append("wrap:" + ",".join(_short(t.id) for t in wraps))
+        rows.append(f"{label:<34} {' '.join(out)}")
+    return "\n".join(rows)
+
+
+def to_dot(net: ReChordNetwork, include_connection: bool = True) -> str:
+    """Graphviz DOT of the current overlay (one style per edge kind)."""
+    lines = [
+        "digraph rechord {",
+        '  rankdir="LR";',
+        '  node [shape=circle, fontsize=9];',
+    ]
+    graph = net.snapshot(include_pending=False)
+    for ref in sorted(graph.nodes(), key=lambda r: r.key):
+        shape = "doublecircle" if ref.is_real else "circle"
+        lines.append(f'  "{ref.owner}_{ref.level}" [label="{_short(ref.id)}", shape={shape}];')
+    for src, dst, kind in sorted(
+        graph.edges(), key=lambda e: (e[0].key, e[1].key, e[2].value)
+    ):
+        if kind is EdgeKind.CONNECTION and not include_connection:
+            continue
+        style = _DOT_STYLE[kind]
+        lines.append(f'  "{src.owner}_{src.level}" -> "{dst.owner}_{dst.level}" [{style}];')
+    lines.append("}")
+    return "\n".join(lines)

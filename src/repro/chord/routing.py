@@ -1,0 +1,80 @@
+"""Greedy Chord routing as a pure graph walk.
+
+Used to analyze hop counts over *materialized* topologies (the classic
+binary-search argument of Section 1.1): at each peer, hop to the known
+out-neighbor that makes the most clockwise progress toward the key
+without overshooting; if none helps, take the successor.  Both the Chord
+baseline's finger tables and the Re-Chord projection (Fact 2.1) can be
+routed this way, which is how the lookup experiment (E7) measures path
+lengths without simulating message exchanges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Set
+
+from repro.core.ideal import chord_successor
+from repro.idspace.ring import IdSpace
+
+#: returns the out-neighbors (peer ids) a peer can route through
+NeighborFn = Callable[[int], Set[int]]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of a greedy route: owner, hop count, and the path taken."""
+
+    owner: int
+    hops: int
+    path: tuple
+
+
+class RoutingError(RuntimeError):
+    """Raised when greedy routing cannot reach the responsible peer."""
+
+
+def route_greedy(
+    space: IdSpace,
+    peer_ids: Sequence[int],
+    neighbors: NeighborFn,
+    start: int,
+    key: int,
+    max_hops: int = 512,
+) -> RouteResult:
+    """Route ``key`` from ``start`` over the given neighbor views.
+
+    The responsible peer is ``chord_successor(key)``.  Progress metric:
+    clockwise distance from the candidate to the key; a candidate is
+    usable if it lies in the half-open arc ``(current, key]`` (no
+    overshoot), exactly the paper's path definition.
+    """
+    ids = sorted(peer_ids)
+    owner = chord_successor(space, ids, key)
+    current = start
+    path: List[int] = [start]
+    for _ in range(max_hops):
+        if current == owner:
+            return RouteResult(owner, len(path) - 1, tuple(path))
+        best = None
+        best_d = space.distance_cw(current, key)
+        for cand in sorted(neighbors(current)):
+            if cand == current:
+                continue
+            if space.between_open_closed(current, cand, key):
+                d = space.distance_cw(cand, key)
+                if d < best_d:
+                    best, best_d = cand, d
+        if best is None:
+            # key lies between current and all its neighbors going
+            # clockwise: the next hop is whoever owns the key among the
+            # neighbors — if the topology is correct, that is the
+            # successor and it equals `owner`
+            forward = [c for c in neighbors(current) if c != current]
+            if not forward:
+                raise RoutingError(f"dead end at {current} routing {key}")
+            succ = min(forward, key=lambda c: space.distance_cw(current, c))
+            best = succ
+        current = best
+        path.append(current)
+    raise RoutingError(f"no convergence after {max_hops} hops routing {key}")

@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate any figure or experiment.
+
+Examples::
+
+    python -m repro fig6 --seeds 30          # the paper's full Fig. 6
+    python -m repro fig5 --quick             # fast smoke version
+    python -m repro all --seeds 5            # every experiment, light
+    rechord lookup --sizes 16 64             # via the console script
+
+Every experiment is deterministic for a given ``--root-seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments import PAPER_SIZES
+from repro.experiments.ablation import format_ablation, run_ablation
+from repro.experiments.baseline import format_baseline, run_baseline
+from repro.experiments.baseline import DEFAULT_SIZES as BASELINE_SIZES
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.experiments.join_leave import DEFAULT_SIZES as JL_SIZES
+from repro.experiments.join_leave import format_join_leave, run_join_leave
+from repro.experiments.lookup import DEFAULT_SIZES as LOOKUP_SIZES
+from repro.experiments.lookup import format_lookup, run_lookup
+from repro.experiments.messages import format_messages, run_messages
+from repro.experiments.asynchrony import DEFAULT_SIZES as ASYNC_SIZES
+from repro.experiments.asynchrony import format_asynchrony, run_asynchrony
+from repro.experiments.economy import DEFAULT_SIZES as ECONOMY_SIZES
+from repro.experiments.economy import format_economy, run_economy
+from repro.experiments.usability import format_usability, run_usability
+from repro.experiments.phases import DEFAULT_SIZES as PHASES_SIZES
+from repro.experiments.phases import format_phases, run_phases
+from repro.experiments.runner import DEFAULT_ROOT_SEED
+from repro.experiments.scaling import DEFAULT_SIZES as SCALING_SIZES
+from repro.experiments.scaling import format_scaling, run_scaling
+
+QUICK_SIZES = (5, 15, 25)
+
+
+def _sizes(args: argparse.Namespace, default: Sequence[int]) -> Sequence[int]:
+    if args.sizes:
+        return tuple(args.sizes)
+    if args.quick:
+        return QUICK_SIZES
+    return tuple(default)
+
+
+def _seeds(args: argparse.Namespace, default: int) -> int:
+    if args.seeds is not None:
+        return args.seeds
+    return 2 if args.quick else default
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rechord",
+        description="Re-Chord (SPAA 2011) reproduction — experiment runner",
+    )
+    parser.add_argument("--root-seed", type=int, default=DEFAULT_ROOT_SEED)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, desc in [
+        ("fig5", "edges and nodes at stabilization (paper Fig. 5)"),
+        ("fig6", "rounds to stable/almost-stable (paper Fig. 6)"),
+        ("fig7", "total edges vs total nodes (paper Fig. 7)"),
+        ("scaling", "Theorem 1.1 stabilization scaling"),
+        ("join-leave", "Theorems 4.1/4.2 churn recovery"),
+        ("lookup", "Fact 2.1 + greedy lookup hops"),
+        ("baseline", "classic Chord vs Re-Chord self-stabilization"),
+        ("ablation", "rule ablations"),
+        ("messages", "message complexity over time"),
+        ("phases", "proof-phase completion rounds"),
+        ("economy", "economical-broadcast extension comparison"),
+        ("asynchrony", "fair partial activation robustness"),
+        ("usability", "routability during convergence"),
+        ("all", "run every experiment"),
+    ]:
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--sizes", type=int, nargs="*", default=None)
+        p.add_argument("--seeds", type=int, default=None)
+        p.add_argument("--quick", action="store_true", help="small sizes, 2 seeds")
+        if name in ("ablation", "messages", "usability"):
+            p.add_argument("--n", type=int, default=32 if name != "usability" else 24)
+    return parser
+
+
+def _dispatch(args: argparse.Namespace) -> List[str]:
+    rs = args.root_seed
+    out: List[str] = []
+    cmd = args.command
+    if cmd in ("fig5", "all"):
+        out.append(format_fig5(run_fig5(_sizes(args, PAPER_SIZES), _seeds(args, 10), rs)))
+    if cmd in ("fig6", "all"):
+        out.append(format_fig6(run_fig6(_sizes(args, PAPER_SIZES), _seeds(args, 10), rs)))
+    if cmd in ("fig7", "all"):
+        out.append(format_fig7(run_fig7(_sizes(args, PAPER_SIZES), _seeds(args, 10), rs)))
+    if cmd in ("scaling", "all"):
+        out.append(format_scaling(run_scaling(_sizes(args, SCALING_SIZES), _seeds(args, 5), rs)))
+    if cmd in ("join-leave", "all"):
+        out.append(format_join_leave(run_join_leave(_sizes(args, JL_SIZES), _seeds(args, 5), rs)))
+    if cmd in ("lookup", "all"):
+        out.append(format_lookup(run_lookup(_sizes(args, LOOKUP_SIZES), _seeds(args, 5), rs)))
+    if cmd in ("baseline", "all"):
+        out.append(format_baseline(run_baseline(_sizes(args, BASELINE_SIZES), _seeds(args, 5), rs)))
+    if cmd in ("ablation", "all"):
+        n = getattr(args, "n", 32)
+        out.append(format_ablation(run_ablation(n=n, seeds=_seeds(args, 5), root_seed=rs)))
+    if cmd in ("messages", "all"):
+        n = getattr(args, "n", 32)
+        out.append(format_messages(run_messages(n=n, root_seed=rs)))
+    if cmd in ("phases", "all"):
+        out.append(format_phases(run_phases(_sizes(args, PHASES_SIZES), _seeds(args, 5), rs)))
+    if cmd in ("economy", "all"):
+        out.append(format_economy(run_economy(_sizes(args, ECONOMY_SIZES), _seeds(args, 3), rs)))
+    if cmd in ("asynchrony", "all"):
+        out.append(format_asynchrony(run_asynchrony(_sizes(args, ASYNC_SIZES), _seeds(args, 3), rs)))
+    if cmd in ("usability", "all"):
+        n = getattr(args, "n", 24)
+        out.append(format_usability(run_usability(n=n, root_seed=rs)))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    started = time.time()
+    for block in _dispatch(args):
+        print(block)
+        print()
+    print(f"[done in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

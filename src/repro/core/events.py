@@ -1,0 +1,93 @@
+"""Delayed-assignment messages of the Re-Chord protocol.
+
+The paper writes delayed assignments ``A <- B`` that take effect "right
+before the next round"; in the synchronous kernel they are messages
+delivered at the round boundary.  Two payload families exist:
+
+* :class:`EdgeAdd` — the unconditional neighborhood inserts used by the
+  linearization, mirroring, ring and connection rules;
+* :class:`RealCandidate` — rule 3's closest-real-neighbor announcements.
+  Their guard (``v > rl(y)`` / ``v < rr(y)``) reads the *receiver's*
+  pointer, so it is evaluated at delivery (DESIGN.md [D9]); wrap
+  candidates implement the seam exchange of [D6].
+
+Every payload provides ``canonical()`` — a sortable, hashable tuple used
+by the global state fingerprint (stability detection requires comparing
+in-flight messages, because the stable state is a constant *flow*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.noderef import NodeRef
+
+#: edge-kind tags carried by EdgeAdd messages
+KIND_UNMARKED = "u"
+KIND_RING = "r"
+KIND_CONNECTION = "c"
+
+#: sides for RealCandidate
+SIDE_LEFT = "left"
+SIDE_RIGHT = "right"
+
+
+def _ref_key(ref: NodeRef) -> Tuple[int, int, int, int]:
+    return ref.key
+
+
+@dataclass(frozen=True)
+class EdgeAdd:
+    """Ask ``target`` to add the outgoing edge ``(target -> endpoint)``.
+
+    ``kind`` is one of ``u``/``r``/``c``.  Self-edges are discarded at
+    delivery (sanitation [D10]).
+    """
+
+    target: NodeRef
+    endpoint: NodeRef
+    kind: str
+
+    def canonical(self) -> tuple:
+        """Sortable identity tuple for fingerprints."""
+        return ("edge", self.kind, _ref_key(self.target), _ref_key(self.endpoint))
+
+
+@dataclass(frozen=True)
+class RealCandidate:
+    """Announce a closest-real-neighbor candidate to ``target``.
+
+    ``side`` says on which side of the receiver the candidate lies;
+    ``wrap`` marks seam-exchange candidates (candidates for the
+    wrap-around pointers of the top/bottom identifier gaps).  Receiver
+    semantics live in ``ReChordPeer._deliver_candidate``.
+    """
+
+    target: NodeRef
+    candidate: NodeRef
+    side: str
+    wrap: bool = False
+
+    def canonical(self) -> tuple:
+        """Sortable identity tuple for fingerprints."""
+        return ("cand", self.side, self.wrap, _ref_key(self.target), _ref_key(self.candidate))
+
+
+@dataclass(frozen=True)
+class NeighborIntro:
+    """Graceful-leave introduction: ``target`` should meet ``endpoint``.
+
+    Behaviorally identical to an unmarked :class:`EdgeAdd`; kept distinct
+    so traces can attribute leave-repair traffic (Theorem 4.2 experiment).
+    """
+
+    target: NodeRef
+    endpoint: NodeRef
+
+    def canonical(self) -> tuple:
+        """Sortable identity tuple for fingerprints."""
+        return ("intro", _ref_key(self.target), _ref_key(self.endpoint))
+
+
+Payload = EdgeAdd | RealCandidate | NeighborIntro

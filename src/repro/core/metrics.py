@@ -1,0 +1,62 @@
+"""Edge/node accounting for the paper's figures.
+
+Fig. 5 plots "normal edges" (all non-connection edges), "connection
+edges" and "virtual nodes" against the number of real nodes; Fig. 7 plots
+total edges against total nodes.  :func:`collect` produces all of these
+from a network snapshot (in-flight edge inserts included, since the
+stable state keeps part of the connection-edge population permanently in
+transit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.network import ReChordNetwork
+from repro.graphs.digraph import EdgeKind
+
+
+@dataclass(frozen=True)
+class NetworkMetrics:
+    """Structural counts of one network state."""
+
+    real_nodes: int
+    virtual_nodes: int
+    unmarked_edges: int
+    ring_edges: int
+    connection_edges: int
+    real_pointer_edges: int
+    pending_messages: int
+
+    @property
+    def total_nodes(self) -> int:
+        """Real + virtual nodes (the paper's "total number of nodes")."""
+        return self.real_nodes + self.virtual_nodes
+
+    @property
+    def normal_edges(self) -> int:
+        """All non-connection edges (the paper's "normal edges")."""
+        return self.unmarked_edges + self.ring_edges + self.real_pointer_edges
+
+    @property
+    def total_edges(self) -> int:
+        """Normal + connection edges (the paper's "total edges")."""
+        return self.normal_edges + self.connection_edges
+
+
+def collect(network: ReChordNetwork, include_pending: bool = True) -> NetworkMetrics:
+    """Measure the current network state."""
+    graph = network.snapshot(include_pending=include_pending)
+    real = sum(1 for ref in graph.nodes() if ref.is_real)
+    # count only nodes actually simulated by live peers (snapshot also
+    # contains refs that appear solely as edge targets)
+    simulated = sum(len(peer.state.nodes) for peer in network.peers.values())
+    return NetworkMetrics(
+        real_nodes=len(network.peers),
+        virtual_nodes=simulated - len(network.peers),
+        unmarked_edges=graph.edge_count(EdgeKind.UNMARKED),
+        ring_edges=graph.edge_count(EdgeKind.RING),
+        connection_edges=graph.edge_count(EdgeKind.CONNECTION),
+        real_pointer_edges=graph.edge_count(EdgeKind.REAL_POINTER),
+        pending_messages=network.scheduler.pending_messages(),
+    )

@@ -1,0 +1,367 @@
+"""Top-level Re-Chord network facade.
+
+Builds a network from any initial topology, drives the synchronous rounds,
+detects stabilization, and exposes the dynamic-membership operations
+(join / graceful leave / crash) analyzed in Section 4 of the paper.
+
+Stability detection: the rule dynamics are deterministic, so the network
+is stable exactly when the global configuration — all peer states *plus*
+the in-flight messages — repeats between consecutive round boundaries.
+The stable state is a constant flow (connection edges keep streaming,
+ring-edge requests keep re-issuing), so peer states alone would not be a
+sound criterion; the fingerprint therefore includes pending messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import NeighborIntro
+from repro.core.ideal import IdealTopology, compute_ideal
+from repro.core.noderef import NodeRef, make_ref
+from repro.core.protocol import REF_DEAD, REF_OK, REF_PHANTOM, ReChordPeer
+from repro.core.rules import RuleConfig, RuleCounters
+from repro.core.state import PeerState
+from repro.graphs.digraph import EdgeKind, TypedDigraph
+from repro.idspace.ring import IdSpace
+from repro.netsim.messages import Envelope
+from repro.netsim.scheduler import SynchronousScheduler
+from repro.netsim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class StabilizationReport:
+    """Outcome of :meth:`ReChordNetwork.run_until_stable`.
+
+    ``rounds_to_stable`` is the paper's Fig. 6 metric: the index of the
+    first round boundary whose configuration never changes again.
+    ``rounds_to_almost`` is the first boundary at which all *desired*
+    edges of the ideal topology exist (extra edges permitted); ``None``
+    if almost-stability tracking was disabled.
+    """
+
+    rounds_to_stable: int
+    rounds_to_almost: Optional[int]
+    rounds_executed: int
+
+
+class ReChordNetwork:
+    """A set of Re-Chord peers driven by the synchronous kernel."""
+
+    def __init__(
+        self,
+        space: Optional[IdSpace] = None,
+        config: Optional[RuleConfig] = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.space = space if space is not None else IdSpace()
+        self.config = config if config is not None else RuleConfig()
+        self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
+        self.scheduler = SynchronousScheduler(self.trace)
+        self.peers: Dict[int, ReChordPeer] = {}
+        self._level_snapshot: Dict[int, frozenset] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_peer(self, peer_id: int) -> ReChordPeer:
+        """Register a fresh peer (real node only, empty neighborhoods)."""
+        self.space.check_id(peer_id)
+        if peer_id in self.peers:
+            raise ValueError(f"duplicate peer id {peer_id}")
+        state = PeerState(peer_id, self.space)
+        peer = ReChordPeer(state, self.config, self._ref_alive)
+        self.peers[peer_id] = peer
+        self.scheduler.add_actor(peer_id, peer)
+        self._level_snapshot[peer_id] = frozenset(state.nodes)
+        return peer
+
+    def ensure_virtual(self, peer_id: int, level: int) -> NodeRef:
+        """Pre-create a virtual node (for corrupt initial states)."""
+        node = self.peers[peer_id].state.ensure_level(level)
+        self._level_snapshot[peer_id] = frozenset(self.peers[peer_id].state.nodes)
+        return node.ref
+
+    def ref(self, peer_id: int, level: int = 0) -> NodeRef:
+        """The ref of node ``level`` of ``peer_id`` (id derived)."""
+        return make_ref(self.space, peer_id, level)
+
+    def add_initial_edge(
+        self,
+        src: NodeRef,
+        dst: NodeRef,
+        kind: EdgeKind = EdgeKind.UNMARKED,
+    ) -> None:
+        """Inject an edge into the initial state (before any round).
+
+        Creates the source node if it does not exist yet; the target may
+        be any ref (including refs the protocol will later sanitize).
+        """
+        peer = self.peers.get(src.owner)
+        if peer is None:
+            raise KeyError(f"unknown peer {src.owner}")
+        node = peer.state.ensure_level(src.level)
+        self._level_snapshot[src.owner] = frozenset(peer.state.nodes)
+        if dst == node.ref:
+            return
+        if kind is EdgeKind.UNMARKED:
+            node.nu.add(dst)
+        elif kind is EdgeKind.RING:
+            node.nr.add(dst)
+        elif kind is EdgeKind.CONNECTION:
+            node.nc.add(dst)
+        else:
+            raise ValueError(f"initial edges cannot be of kind {kind}")
+
+    # ------------------------------------------------------------------
+    # liveness oracle ([D7]/[D11])
+    # ------------------------------------------------------------------
+    def _ref_alive(self, ref: NodeRef) -> str:
+        levels = self._level_snapshot.get(ref.owner)
+        if levels is None:
+            return REF_DEAD
+        return REF_OK if ref.level in levels else REF_PHANTOM
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def round_no(self) -> int:
+        """Completed rounds."""
+        return self.scheduler.round_no
+
+    @property
+    def peer_ids(self) -> List[int]:
+        """Sorted live peer ids."""
+        return sorted(self.peers)
+
+    def run_round(self, active: Optional[set] = None) -> None:
+        """Execute one synchronous round (optionally partial activation).
+
+        ``active`` limits which peers step — the fair-scheduling bridge
+        toward asynchrony studied by the asynchrony experiment; peers
+        left out keep their state and accumulate their inbox.
+        """
+        # freeze the level map so the oracle answers with round-start
+        # state regardless of peer iteration order (order-independence)
+        self._level_snapshot = {
+            pid: frozenset(peer.state.nodes) for pid, peer in self.peers.items()
+        }
+        self.scheduler.run_round(active)
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` rounds."""
+        for _ in range(rounds):
+            self.run_round()
+
+    def run_until_stable(
+        self,
+        max_rounds: int = 10_000,
+        track_almost: bool = False,
+    ) -> StabilizationReport:
+        """Run until the global configuration repeats.
+
+        Raises ``RuntimeError`` if not stable within ``max_rounds`` (a
+        non-converging protocol must fail loudly).  With ``track_almost``
+        the report also carries the first round at which all desired
+        edges of the ideal topology existed.
+        """
+        ideal = compute_ideal(self.space, self.peer_ids) if track_almost else None
+        almost: Optional[int] = None
+        if ideal is not None and self._almost_stable(ideal):
+            almost = 0
+        prev = self.fingerprint()
+        for executed in range(1, max_rounds + 1):
+            self.run_round()
+            cur = self.fingerprint()
+            if ideal is not None and almost is None and self._almost_stable(ideal):
+                almost = executed
+            if cur == prev:
+                # the configuration reached at round `executed - 1` is final
+                return StabilizationReport(
+                    rounds_to_stable=executed - 1,
+                    rounds_to_almost=almost,
+                    rounds_executed=executed,
+                )
+            prev = cur
+        raise RuntimeError(f"network not stable within {max_rounds} rounds")
+
+    # ------------------------------------------------------------------
+    # stability / correctness predicates
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """Canonical global configuration (peer states + in-flight)."""
+        peers = tuple(
+            self.peers[pid].state.canonical() for pid in sorted(self.peers)
+        )
+        pending = tuple(
+            sorted((env.target, env.payload.canonical()) for env in self.scheduler.all_pending())
+        )
+        return (peers, pending)
+
+    def is_fixed_point(self) -> bool:
+        """Whether one more round leaves the configuration unchanged.
+
+        Non-destructive in the observational sense used by tests: it runs
+        a round and compares (the stable state is invariant, so running a
+        round on a stable network is a no-op by definition).
+        """
+        before = self.fingerprint()
+        self.run_round()
+        return self.fingerprint() == before
+
+    def matches_ideal(self, ideal: Optional[IdealTopology] = None) -> bool:
+        """Whether every peer's state equals the ideal stable topology."""
+        return not self.ideal_mismatches(ideal, limit=1)
+
+    def ideal_mismatches(
+        self,
+        ideal: Optional[IdealTopology] = None,
+        limit: int = 50,
+    ) -> List[str]:
+        """Human-readable differences from the ideal topology (<= limit)."""
+        if ideal is None:
+            ideal = compute_ideal(self.space, self.peer_ids)
+        problems: List[str] = []
+
+        def note(msg: str) -> None:
+            if len(problems) < limit:
+                problems.append(msg)
+
+        for pid in sorted(self.peers):
+            state = self.peers[pid].state
+            want_levels = set(range(0, ideal.m_star[pid] + 1))
+            have_levels = set(state.nodes)
+            if want_levels != have_levels:
+                note(f"peer {pid}: levels {sorted(have_levels)} != {sorted(want_levels)}")
+                continue
+            for level in sorted(state.nodes):
+                node = state.nodes[level]
+                ref = node.ref
+                if node.nu != set(ideal.nu[ref]):
+                    note(
+                        f"{ref!r}: nu {sorted(node.nu)} != {sorted(ideal.nu[ref])}"
+                    )
+                if node.nr != set(ideal.nr[ref]):
+                    note(f"{ref!r}: nr {sorted(node.nr)} != {sorted(ideal.nr[ref])}")
+                if node.rl != ideal.rl[ref]:
+                    note(f"{ref!r}: rl {node.rl!r} != {ideal.rl[ref]!r}")
+                if node.rr != ideal.rr[ref]:
+                    note(f"{ref!r}: rr {node.rr!r} != {ideal.rr[ref]!r}")
+                if node.wrap_rl != ideal.wrap_rl[ref]:
+                    note(f"{ref!r}: wrap_rl {node.wrap_rl!r} != {ideal.wrap_rl[ref]!r}")
+                if node.wrap_rr != ideal.wrap_rr[ref]:
+                    note(f"{ref!r}: wrap_rr {node.wrap_rr!r} != {ideal.wrap_rr[ref]!r}")
+            if len(problems) >= limit:
+                break
+        return problems
+
+    def _almost_stable(self, ideal: IdealTopology) -> bool:
+        """All desired edges exist (extra edges allowed) — Fig. 6's
+        "almost stable" state."""
+        for pid in sorted(self.peers):
+            state = self.peers[pid].state
+            if set(state.nodes) != set(range(0, ideal.m_star[pid] + 1)):
+                return False
+            for level, node in state.nodes.items():
+                ref = node.ref
+                if not set(ideal.nu[ref]) <= node.nu:
+                    return False
+                if not set(ideal.nr[ref]) <= node.nr:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # membership dynamics (Section 4)
+    # ------------------------------------------------------------------
+    def join(self, new_id: int, gateway_id: int) -> ReChordPeer:
+        """A new peer joins, knowing one existing peer (Section 4.1)."""
+        if gateway_id not in self.peers:
+            raise KeyError(f"gateway {gateway_id} is not a live peer")
+        peer = self.add_peer(new_id)
+        peer.state.nodes[0].nu.add(make_ref(self.space, gateway_id, 0))
+        return peer
+
+    def leave(self, peer_id: int) -> None:
+        """Graceful departure: introduce neighbors, then vanish."""
+        peer = self.peers.get(peer_id)
+        if peer is None:
+            raise KeyError(f"unknown peer {peer_id}")
+        for intro in peer.leave_introductions():
+            if intro.target.owner == peer_id:
+                continue
+            self.scheduler.post(Envelope(peer_id, intro.target.owner, intro))
+        self._remove_peer(peer_id)
+
+    def crash(self, peer_id: int) -> None:
+        """Abrupt failure: the peer and all its edges disappear."""
+        if peer_id not in self.peers:
+            raise KeyError(f"unknown peer {peer_id}")
+        self._remove_peer(peer_id)
+
+    def _remove_peer(self, peer_id: int) -> None:
+        del self.peers[peer_id]
+        self.scheduler.remove_actor(peer_id)
+        self._level_snapshot.pop(peer_id, None)
+
+    # ------------------------------------------------------------------
+    # snapshots & accounting
+    # ------------------------------------------------------------------
+    def snapshot(self, include_pending: bool = True) -> TypedDigraph:
+        """The overlay as a :class:`TypedDigraph` over :class:`NodeRef`.
+
+        ``include_pending`` merges in-flight edge inserts (the stable
+        state keeps some edges permanently in transit); candidate
+        messages are guarded and therefore not edges.
+        """
+        g = TypedDigraph()
+        for pid in sorted(self.peers):
+            state = self.peers[pid].state
+            for level in sorted(state.nodes):
+                node = state.nodes[level]
+                g.add_node(node.ref)
+                for t in node.nu:
+                    g.add_edge(node.ref, t, EdgeKind.UNMARKED)
+                for t in node.nr:
+                    g.add_edge(node.ref, t, EdgeKind.RING)
+                for t in node.nc:
+                    g.add_edge(node.ref, t, EdgeKind.CONNECTION)
+                for t in node.wrap_refs():
+                    g.add_edge(node.ref, t, EdgeKind.REAL_POINTER)
+        if include_pending:
+            from repro.core.events import EdgeAdd  # local import to avoid cycle
+
+            for env in self.scheduler.all_pending():
+                payload = env.payload
+                if isinstance(payload, EdgeAdd) and payload.endpoint != payload.target:
+                    kind = {
+                        "u": EdgeKind.UNMARKED,
+                        "r": EdgeKind.RING,
+                        "c": EdgeKind.CONNECTION,
+                    }[payload.kind]
+                    g.add_edge(payload.target, payload.endpoint, kind)
+                elif isinstance(payload, NeighborIntro) and payload.endpoint != payload.target:
+                    g.add_edge(payload.target, payload.endpoint, EdgeKind.UNMARKED)
+        return g
+
+    def rechord_projection(self) -> set:
+        """``E_ReChord``: real-peer pairs ``(u, v)`` with an edge
+        ``(u_i, v_0)`` in ``E_u ∪ E_r`` (wrap pointers included [D6])."""
+        edges = set()
+        for pid in sorted(self.peers):
+            state = self.peers[pid].state
+            for node in state.nodes.values():
+                targets = set(node.nu) | set(node.nr)
+                targets.update(node.wrap_refs())
+                for t in targets:
+                    if t.is_real and t.owner != pid:
+                        edges.add((pid, t.owner))
+        return edges
+
+    def counters(self) -> RuleCounters:
+        """Merged rule-firing counters across all live peers."""
+        merged = RuleCounters()
+        for pid in sorted(self.peers):
+            merged = merged.merged(self.peers[pid].counters)
+        return merged

@@ -1,0 +1,91 @@
+"""Identities of real and virtual nodes.
+
+A peer with identifier ``u`` simulates virtual nodes ``u_i`` at positions
+``(u + 2**(bits-i)) mod 2**bits``.  A :class:`NodeRef` names one such node:
+``(id, owner, level)`` with ``level == 0`` for the real node itself.  Refs
+are what travels in messages and populates neighborhoods — they carry
+enough information to reach the owner (the peer) and to address the
+specific simulated node.
+
+Ordering: the protocol's rules 2–6 need a *strict total order* on nodes
+(unique "closest" nodes).  Identifiers alone are not enough in small test
+id-spaces where a virtual position can collide with another node, so refs
+order by ``(id, is_virtual, owner, level)`` — real nodes sort before
+virtual nodes at equal ids (DESIGN.md [D2]).  With 64-bit random ids the
+tie-break never fires in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.idspace.ring import IdSpace
+
+
+class NodeRef:
+    """Immutable reference to a (real or virtual) node.
+
+    Construct via :func:`make_ref` (or :meth:`NodeRef.real`) so that the
+    ``id`` is always consistent with ``(owner, level)`` — the protocol and
+    its proofs assume this consistency, and the factory makes corrupt
+    ids unrepresentable.
+    """
+
+    __slots__ = ("id", "owner", "level", "_key", "_hash")
+
+    def __init__(self, ident: int, owner: int, level: int) -> None:
+        object.__setattr__(self, "id", ident)
+        object.__setattr__(self, "owner", owner)
+        object.__setattr__(self, "level", level)
+        object.__setattr__(self, "_key", (ident, 0 if level == 0 else 1, owner, level))
+        object.__setattr__(self, "_hash", hash((owner, level)))
+
+    # refs are conceptually frozen
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("NodeRef is immutable")
+
+    @staticmethod
+    def real(owner: int) -> "NodeRef":
+        """The real node (level 0) of peer ``owner``."""
+        return NodeRef(owner, owner, 0)
+
+    @property
+    def is_real(self) -> bool:
+        """Whether this names a real node (level 0)."""
+        return self.level == 0
+
+    @property
+    def key(self) -> Tuple[int, int, int, int]:
+        """The strict-total-order sort key."""
+        return self._key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeRef):
+            return NotImplemented
+        return self.owner == other.owner and self.level == other.level
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "NodeRef") -> bool:
+        return self._key < other._key
+
+    def __le__(self, other: "NodeRef") -> bool:
+        return self._key <= other._key
+
+    def __gt__(self, other: "NodeRef") -> bool:
+        return self._key > other._key
+
+    def __ge__(self, other: "NodeRef") -> bool:
+        return self._key >= other._key
+
+    def __repr__(self) -> str:
+        kind = "R" if self.level == 0 else f"V{self.level}"
+        return f"<{kind} id={self.id} owner={self.owner}>"
+
+
+def make_ref(space: IdSpace, owner: int, level: int) -> NodeRef:
+    """Build the ref of node ``u_level`` of peer ``owner`` (id derived)."""
+    if level < 0 or level > space.max_level():
+        raise ValueError(f"level must be in [0, {space.max_level()}], got {level}")
+    return NodeRef(space.virtual_id(owner, level), owner, level)

@@ -1,0 +1,545 @@
+"""The Re-Chord self-stabilization rules (Section 2.3 of the paper).
+
+One :class:`ReChordPeer` is a scheduler actor simulating the peer's real
+node and all its virtual siblings.  Every round it:
+
+1. applies the delayed assignments delivered at the last round boundary
+   (the paper's ``A <- B`` semantics);
+2. purges references to crashed peers / nonexistent virtual nodes
+   (DESIGN.md [D7]/[D11]);
+3. runs rules 1–6 in the paper's order.  Direct assignments (``:=``)
+   mutate the peer's own state immediately and are visible to later rules
+   in the same round; delayed assignments are sent as messages.
+
+Rule-to-method map:
+
+========================  ======================================
+paper rule                method
+========================  ======================================
+1  Virtual Nodes          :meth:`ReChordPeer._rule1_virtual_nodes`
+2  Overlapping Neighbor.  :meth:`ReChordPeer._rule2_overlap`
+3  Closest Real Neighbor  :meth:`ReChordPeer._rule3_closest_real`
+4  Linearization          :meth:`ReChordPeer._rule4_linearize`
+5  Ring Edge              :meth:`ReChordPeer._rule5_ring`
+6  Connection Edges       :meth:`ReChordPeer._rule6_connection`
+========================  ======================================
+
+The module docstrings of :mod:`repro.core.events` and DESIGN.md Section 3
+explain the deviations; inline comments below only flag the subtle spots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from operator import attrgetter
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.core.events import (
+    KIND_CONNECTION,
+    KIND_RING,
+    KIND_UNMARKED,
+    EdgeAdd,
+    NeighborIntro,
+    RealCandidate,
+    SIDE_LEFT,
+    SIDE_RIGHT,
+)
+from repro.core.noderef import NodeRef
+from repro.core.rules import RuleConfig, RuleCounters
+from repro.core.state import LocalNode, PeerState
+from repro.netsim.messages import Envelope
+from repro.netsim.scheduler import RoundContext
+
+#: liveness verdicts returned by the network's reference oracle
+REF_OK = "ok"
+REF_DEAD = "dead"
+REF_PHANTOM = "phantom"
+
+RefOracle = Callable[[NodeRef], str]
+
+#: sort key accessor — sorting by the precomputed tuple is measurably
+#: faster than dispatching NodeRef.__lt__ per comparison (hot path)
+_KEY = attrgetter("_key")
+
+
+class ReChordPeer:
+    """Actor running the Re-Chord rules for one peer."""
+
+    __slots__ = ("state", "config", "counters", "_ref_alive")
+
+    def __init__(
+        self,
+        state: PeerState,
+        config: RuleConfig,
+        ref_alive: RefOracle,
+        counters: Optional[RuleCounters] = None,
+    ) -> None:
+        self.state = state
+        self.config = config
+        self.counters = counters if counters is not None else RuleCounters()
+        self._ref_alive = ref_alive
+
+    # ------------------------------------------------------------------
+    # actor entry point
+    # ------------------------------------------------------------------
+    def step(self, inbox: Sequence[Envelope], ctx: RoundContext) -> None:
+        """One synchronous round: apply inbox, purge, rules 1-6."""
+        self._apply_inbox(inbox)
+        self._purge()
+        cfg = self.config
+        if cfg.virtual_nodes:
+            self._rule1_virtual_nodes()
+        if cfg.overlap:
+            self._rule2_overlap()
+        if cfg.closest_real:
+            self._rule3_closest_real(ctx)
+        if cfg.linearize:
+            self._rule4_linearize(ctx)
+        if cfg.ring:
+            self._rule5_ring(ctx)
+        if cfg.connection:
+            self._rule6_connection(ctx)
+
+    # ------------------------------------------------------------------
+    # message delivery (delayed assignments)
+    # ------------------------------------------------------------------
+    def _apply_inbox(self, inbox: Sequence[Envelope]) -> None:
+        for env in inbox:
+            payload = env.payload
+            if isinstance(payload, EdgeAdd):
+                self._deliver_edge(payload.target, payload.endpoint, payload.kind)
+            elif isinstance(payload, NeighborIntro):
+                self._deliver_edge(payload.target, payload.endpoint, KIND_UNMARKED)
+            elif isinstance(payload, RealCandidate):
+                self._deliver_candidate(payload)
+            else:  # pragma: no cover - protocol violation
+                raise TypeError(f"unknown payload {payload!r}")
+
+    def _deliver_edge(self, target: NodeRef, endpoint: NodeRef, kind: str) -> None:
+        node = self.state.resolve(target)
+        if node is None:  # misrouted — network bug, not protocol state
+            raise LookupError(f"message for {target!r} delivered to peer {self.state.peer_id}")
+        if endpoint == node.ref:
+            return  # self-edge sanitation [D10]
+        if kind == KIND_UNMARKED:
+            node.nu.add(endpoint)
+        elif kind == KIND_RING:
+            node.nr.add(endpoint)
+        elif kind == KIND_CONNECTION:
+            node.nc.add(endpoint)
+        else:  # pragma: no cover - protocol violation
+            raise ValueError(f"unknown edge kind {kind!r}")
+
+    def _deliver_candidate(self, msg: RealCandidate) -> None:
+        node = self.state.resolve(msg.target)
+        if node is None:  # pragma: no cover - misrouted
+            raise LookupError(f"candidate for {msg.target!r} at peer {self.state.peer_id}")
+        cand = msg.candidate
+        if not cand.is_real or cand == node.ref:
+            return
+        if msg.wrap:
+            self._adopt_wrap_candidate(node, cand, msg.side)
+        else:
+            self._adopt_linear_candidate(node, cand, msg.side)
+
+    def _adopt_linear_candidate(self, node: LocalNode, cand: NodeRef, side: str) -> None:
+        """Rule 3's receiver-side guard: adopt only strict improvements.
+
+        The paper's guard ``v > rl(y)`` (resp. ``v < rr(y)``) reads the
+        receiver's pointer, so it must run here [D9].  An adopted
+        candidate goes into ``nu`` exactly as the paper's
+        ``Nu(y) <- Nu(y) ∪ {v}`` writes it; rule 3 will recompute the
+        cached pointer from knowledge next round.
+        """
+        if side == SIDE_LEFT:
+            if cand >= node.ref:
+                return  # wrong side — stale or corrupt sender state
+            if node.rl is None or cand > node.rl:
+                node.nu.add(cand)
+                self.counters.bump("rule3_adopt")
+        else:
+            if cand <= node.ref:
+                return
+            if node.rr is None or cand < node.rr:
+                node.nu.add(cand)
+                self.counters.bump("rule3_adopt")
+
+    def _adopt_wrap_candidate(self, node: LocalNode, cand: NodeRef, side: str) -> None:
+        """Seam-exchange adoption [D6].
+
+        A wrap pointer is only meaningful while the node has no *linear*
+        real neighbor on that side; improvements move toward the global
+        extreme real node (smaller for ``wrap_rr``, larger for
+        ``wrap_rl``).  Replaced values are demoted into ``nu`` so no
+        reference (and hence no connectivity) is ever lost.
+        """
+        if not self.config.wrap_pointers:
+            return
+        if side == SIDE_RIGHT:
+            if node.rr is not None:
+                return  # has a linear successor-side real; no wrap needed
+            if node.wrap_rr is None or cand < node.wrap_rr:
+                if node.wrap_rr is not None and node.wrap_rr != node.ref:
+                    node.nu.add(node.wrap_rr)
+                node.wrap_rr = cand
+                self.counters.bump("wrap_adopt")
+        else:
+            if node.rl is not None:
+                return
+            if node.wrap_rl is None or cand > node.wrap_rl:
+                if node.wrap_rl is not None and node.wrap_rl != node.ref:
+                    node.nu.add(node.wrap_rl)
+                node.wrap_rl = cand
+                self.counters.bump("wrap_adopt")
+
+    # ------------------------------------------------------------------
+    # reference purging [D7]/[D11]
+    # ------------------------------------------------------------------
+    def _purge(self) -> None:
+        """Drop references to dead peers; re-point phantom virtual refs.
+
+        A reference to a virtual node its owner no longer simulates is
+        rewritten to the owner's *real* node (whose address the ref
+        carries), so a corrupt initial state cannot lose its only link to
+        a component — the paper's weak-connectivity precondition survives
+        sanitation.
+        """
+        alive = self._ref_alive
+        for level in sorted(self.state.nodes):
+            node = self.state.nodes[level]
+            for attr in ("nu", "nr", "nc"):
+                refs: Set[NodeRef] = getattr(node, attr)
+                bad = [r for r in refs if r == node.ref or alive(r) != REF_OK]
+                for ref in bad:
+                    refs.discard(ref)
+                    if ref == node.ref:
+                        continue
+                    verdict = alive(ref)
+                    if verdict == REF_PHANTOM:
+                        real = NodeRef.real(ref.owner)
+                        if real != node.ref:
+                            refs.add(real)
+                        self.counters.bump("purge_phantom")
+                    else:
+                        self.counters.bump("purge_dead")
+            for attr in ("rl", "rr", "wrap_rl", "wrap_rr"):
+                ref = getattr(node, attr)
+                if ref is None:
+                    continue
+                if not ref.is_real or ref == node.ref or alive(ref) != REF_OK:
+                    setattr(node, attr, None)
+                    self.counters.bump("purge_slot")
+            # corrupt cached pointers on the wrong side are cleared (the
+            # ref stays reachable through nu if it was ever real state)
+            if node.rl is not None and node.rl >= node.ref:
+                node.rl = None
+            if node.rr is not None and node.rr <= node.ref:
+                node.rr = None
+
+    # ------------------------------------------------------------------
+    # rule 1 — virtual nodes
+    # ------------------------------------------------------------------
+    def _rule1_virtual_nodes(self) -> None:
+        state = self.state
+        gap = state.closest_real_gap()
+        m = state.space.level_count(gap)
+        for level in range(1, m + 1):
+            if level not in state.nodes:
+                state.ensure_level(level)
+                self.counters.bump("rule1_create")
+        doomed = [lvl for lvl in state.nodes if lvl > m]
+        if doomed:
+            target = state.nodes[m]
+            for level in sorted(doomed):
+                dead = state.drop_level(level)
+                inherited = dead.all_out_refs()
+                inherited.discard(target.ref)
+                inherited.discard(dead.ref)
+                # the paper: "the virtual node u_m is informed about
+                # u_i's neighborhood" — everything arrives unmarked
+                target.nu |= inherited
+                self.counters.bump("rule1_delete")
+
+    # ------------------------------------------------------------------
+    # rule 2 — overlapping neighborhood
+    # ------------------------------------------------------------------
+    def _rule2_overlap(self) -> None:
+        state = self.state
+        sibs = state.sibling_refs()
+        if len(sibs) < 2:
+            return
+        for level in sorted(state.nodes):
+            node = state.nodes[level]
+            ui = node.ref
+            for w in sorted(node.nu, key=_KEY):
+                if w < ui:
+                    # siblings strictly between w and ui; closest to w wins
+                    between = [s for s in sibs if w < s < ui]
+                    target = min(between) if between else None
+                else:
+                    between = [s for s in sibs if ui < s < w]
+                    target = max(between) if between else None
+                if target is None:
+                    continue
+                node.nu.discard(w)
+                peer_node = state.nodes[target.level]
+                if w != peer_node.ref:
+                    peer_node.nu.add(w)
+                self.counters.bump("rule2_move")
+
+    # ------------------------------------------------------------------
+    # rule 3 — closest real neighbor
+    # ------------------------------------------------------------------
+    def _rule3_closest_real(self, ctx: RoundContext) -> None:
+        state = self.state
+        reals = state.known_reals()
+        real_keys = [r._key for r in reals]
+        for level in sorted(state.nodes):
+            node = state.nodes[level]
+            ui = node.ref
+            idx = bisect_left(real_keys, ui._key)
+            rl = reals[idx - 1] if idx > 0 else None
+            if idx < len(reals) and reals[idx] == ui:
+                rr = reals[idx + 1] if idx + 1 < len(reals) else None
+            else:
+                rr = reals[idx] if idx < len(reals) else None
+            node.rl, node.rr = rl, rr
+            if rl is not None:
+                node.nu.add(rl)  # the paper's Nu(ui) := Nu(ui) ∪ {v}
+            if rr is not None:
+                node.nu.add(rr)
+            if self.config.wrap_pointers:
+                self._maintain_wrap_slots(node)
+            # announce to neighbors per the paper's y-conditions
+            eco = self.config.economical_broadcast
+            nu_sorted = sorted(node.nu, key=_KEY)
+            if rl is not None:
+                recipients = [
+                    y for y in nu_sorted if y != rl and (y > ui or (rl < y < ui))
+                ]
+                for y in recipients:
+                    if eco and rl == node.bcast_rl and (
+                        node.bcast_rl_targets is not None and y in node.bcast_rl_targets
+                    ):
+                        continue  # already announced this value to y
+                    ctx.send(y.owner, RealCandidate(y, rl, SIDE_LEFT))
+                if eco:
+                    node.bcast_rl = rl
+                    node.bcast_rl_targets = frozenset(recipients)
+            elif eco:
+                node.bcast_rl = None
+                node.bcast_rl_targets = None
+            if rr is not None:
+                recipients = [
+                    y for y in nu_sorted if y != rr and (y < ui or (ui < y < rr))
+                ]
+                for y in recipients:
+                    if eco and rr == node.bcast_rr and (
+                        node.bcast_rr_targets is not None and y in node.bcast_rr_targets
+                    ):
+                        continue
+                    ctx.send(y.owner, RealCandidate(y, rr, SIDE_RIGHT))
+                if eco:
+                    node.bcast_rr = rr
+                    node.bcast_rr_targets = frozenset(recipients)
+            elif eco:
+                node.bcast_rr = None
+                node.bcast_rr_targets = None
+            if self.config.wrap_pointers:
+                self._relay_wrap(node, ctx)
+
+    def _maintain_wrap_slots(self, node: LocalNode) -> None:
+        """Clear wrap pointers made obsolete by a linear real neighbor.
+
+        The cleared target is demoted into ``nu`` so the reference (and
+        any connectivity riding on it) survives.
+        """
+        if node.rr is not None and node.wrap_rr is not None:
+            if node.wrap_rr != node.ref:
+                node.nu.add(node.wrap_rr)
+            node.wrap_rr = None
+        if node.rl is not None and node.wrap_rl is not None:
+            if node.wrap_rl != node.ref:
+                node.nu.add(node.wrap_rl)
+            node.wrap_rl = None
+
+    def _relay_wrap(self, node: LocalNode, ctx: RoundContext) -> None:
+        """Propagate wrap pointers through the top/bottom identifier gaps.
+
+        A node still lacking a linear real neighbor relays its wrap
+        pointer to its closest neighbor on that side (and to its linear
+        real neighbor on the *other* side, which shortcuts the gap) —
+        the flow stays confined to the gaps and is constant in the
+        stable state.
+        """
+        ui = node.ref
+        if node.rr is None and node.wrap_rr is not None:
+            lefts = [w for w in node.nu if w < ui]
+            targets = set()
+            if lefts:
+                targets.add(max(lefts))
+            if node.rl is not None:
+                targets.add(node.rl)
+            for t in sorted(targets):
+                ctx.send(t.owner, RealCandidate(t, node.wrap_rr, SIDE_RIGHT, wrap=True))
+        if node.rl is None and node.wrap_rl is not None:
+            rights = [w for w in node.nu if w > ui]
+            targets = set()
+            if rights:
+                targets.add(min(rights))
+            if node.rr is not None:
+                targets.add(node.rr)
+            for t in sorted(targets):
+                ctx.send(t.owner, RealCandidate(t, node.wrap_rl, SIDE_LEFT, wrap=True))
+
+    # ------------------------------------------------------------------
+    # rule 4 — linearization + mirroring
+    # ------------------------------------------------------------------
+    def _rule4_linearize(self, ctx: RoundContext) -> None:
+        state = self.state
+        for level in sorted(state.nodes):
+            node = state.nodes[level]
+            ui = node.ref
+            lefts = sorted((w for w in node.nu if w < ui), key=_KEY, reverse=True)
+            for a, b in zip(lefts, lefts[1:]):
+                # forward: starting point moves closer to the endpoint
+                ctx.send(a.owner, EdgeAdd(a, b, KIND_UNMARKED))
+                node.nu.discard(b)
+                self.counters.bump("rule4_forward")
+            rights = sorted((w for w in node.nu if w > ui), key=_KEY)
+            for a, b in zip(rights, rights[1:]):
+                ctx.send(a.owner, EdgeAdd(a, b, KIND_UNMARKED))
+                node.nu.discard(b)
+                self.counters.bump("rule4_forward")
+            # mirroring: at this point nu holds only the two closest
+            # neighbors (paper's note on rule 4)
+            for v in sorted(node.nu, key=_KEY):
+                ctx.send(v.owner, EdgeAdd(v, ui, KIND_UNMARKED))
+            # re-add the closest real neighbors (paper: Nu(ui) := Nu(ui)
+            # ∪ {rl(ui)} ∪ {rr(ui)})
+            if node.rl is not None:
+                node.nu.add(node.rl)
+            if node.rr is not None:
+                node.nu.add(node.rr)
+
+    # ------------------------------------------------------------------
+    # rule 5 — ring edges
+    # ------------------------------------------------------------------
+    def _rule5_ring(self, ctx: RoundContext) -> None:
+        state = self.state
+        knowledge = state.knowledge()
+        kmin = min(knowledge, key=_KEY)
+        kmax = max(knowledge, key=_KEY)
+        reals = state.known_reals(knowledge)
+        for level in sorted(state.nodes):
+            node = state.nodes[level]
+            ui = node.ref
+            has_left = any(w < ui for w in node.nu)
+            has_right = any(w > ui for w in node.nu)
+            if not has_left and kmax != ui:
+                # believe to be the minimum: ask the largest known node to
+                # hold a ring edge toward us
+                ctx.send(kmax.owner, EdgeAdd(kmax, ui, KIND_RING))
+                self.counters.bump("rule5_create")
+            if not has_right and kmin != ui:
+                ctx.send(kmin.owner, EdgeAdd(kmin, ui, KIND_RING))
+                self.counters.bump("rule5_create")
+            for w in sorted(node.nr, key=_KEY):
+                if w == ui:
+                    node.nr.discard(w)  # self-edge sanitation [D10]
+                    continue
+                # scope max/min over (knowledge ∪ node.nr): the extreme of
+                # the union is the extreme of the two extremes
+                if w > ui:
+                    # w believes itself the maximum; this edge must reach
+                    # the global minimum
+                    x = kmax
+                    for y in node.nr:
+                        if y > x:
+                            x = y
+                    if x > w:
+                        # w is not the maximum: hand it to a larger node
+                        ctx.send(x.owner, EdgeAdd(x, w, KIND_UNMARKED))
+                        node.nr.discard(w)
+                        self.counters.bump("rule5_convert")
+                    elif kmin != ui:
+                        ctx.send(kmin.owner, EdgeAdd(kmin, w, KIND_RING))
+                        node.nr.discard(w)
+                        self.counters.bump("rule5_forward")
+                    else:
+                        # we are the smallest known node: hold the edge.
+                        # Seam exchange [D6]: tell the other side the
+                        # smallest real node we know.
+                        if self.config.wrap_pointers and reals:
+                            ctx.send(w.owner, RealCandidate(w, reals[0], SIDE_RIGHT, wrap=True))
+                else:
+                    x = kmin
+                    for y in node.nr:
+                        if y < x:
+                            x = y
+                    if x < w:
+                        ctx.send(x.owner, EdgeAdd(x, w, KIND_UNMARKED))
+                        node.nr.discard(w)
+                        self.counters.bump("rule5_convert")
+                    elif kmax != ui:
+                        ctx.send(kmax.owner, EdgeAdd(kmax, w, KIND_RING))
+                        node.nr.discard(w)
+                        self.counters.bump("rule5_forward")
+                    else:
+                        if self.config.wrap_pointers and reals:
+                            ctx.send(w.owner, RealCandidate(w, reals[-1], SIDE_LEFT, wrap=True))
+
+    # ------------------------------------------------------------------
+    # rule 6 — connection edges
+    # ------------------------------------------------------------------
+    def _rule6_connection(self, ctx: RoundContext) -> None:
+        state = self.state
+        sibs = state.sibling_refs()
+        for a, b in zip(sibs, sibs[1:]):
+            # contiguous virtual siblings are chained with connection edges
+            state.nodes[a.level].nc.add(b)
+        sib_set = set(sibs)
+        for level in sorted(state.nodes):
+            node = state.nodes[level]
+            ui = node.ref
+            # nu is not mutated by this rule, so one sorted merge serves
+            # every connection edge held by this node
+            merged = sorted(node.nu | sib_set, key=_KEY)
+            merged_keys = [x._key for x in merged]
+            for v in sorted(node.nc, key=_KEY):
+                if v == ui:
+                    node.nc.discard(v)
+                    continue
+                idx = bisect_left(merged_keys, v._key)
+                w = merged[idx - 1] if idx > 0 else None
+                if w is None or w == ui:
+                    # we are the largest known node below v: close the
+                    # chain with a backward unmarked edge (v -> ui)
+                    ctx.send(v.owner, EdgeAdd(v, ui, KIND_UNMARKED))
+                    node.nc.discard(v)
+                    self.counters.bump("rule6_backward")
+                else:
+                    ctx.send(w.owner, EdgeAdd(w, v, KIND_CONNECTION))
+                    node.nc.discard(v)
+                    self.counters.bump("rule6_forward")
+
+    # ------------------------------------------------------------------
+    # graceful leave support
+    # ------------------------------------------------------------------
+    def leave_introductions(self) -> List[NeighborIntro]:
+        """Introductions to send before departing (Section 4.2).
+
+        For every simulated node, its foreign neighbors (all kinds) are
+        chained pairwise in sorted order, which keeps the remaining graph
+        weakly connected and locally ordered; the normal rules absorb the
+        introductions within O(log n) rounds.
+        """
+        me = self.state.peer_id
+        intros: List[NeighborIntro] = []
+        for level in sorted(self.state.nodes):
+            node = self.state.nodes[level]
+            others = sorted(r for r in node.all_out_refs() if r.owner != me)
+            for a, b in zip(others, others[1:]):
+                intros.append(NeighborIntro(a, b))
+                intros.append(NeighborIntro(b, a))
+        return intros

@@ -1,0 +1,80 @@
+"""Rule configuration and firing counters.
+
+The six rules of Section 2.3 can be individually disabled for the
+ablation experiments (DESIGN.md E10): e.g. without the ring rule the
+protocol degenerates to plain linearization (a sorted list, no ring and no
+wrap fingers); without the connection rule, virtual siblings created into
+empty neighborhoods may never re-attach from adversarial initial states.
+
+``RuleCounters`` tallies how often each rule *changed state* — used by the
+message-complexity experiment and by tests asserting that the stable state
+fires no state-changing rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RuleConfig:
+    """Feature flags for the rule pipeline (all on = the full protocol)."""
+
+    virtual_nodes: bool = True     #: rule 1 — create/delete virtual siblings
+    overlap: bool = True           #: rule 2 — overlapping neighborhood
+    closest_real: bool = True      #: rule 3 — closest real neighbor
+    linearize: bool = True         #: rule 4 — linearization + mirroring
+    ring: bool = True              #: rule 5 — ring edges
+    connection: bool = True        #: rule 6 — connection edges
+    wrap_pointers: bool = True     #: seam extension [D6] (wrap fingers)
+    #: extension (paper §6 asks for "more efficient rules"): rule 3
+    #: announces a closest-real candidate only when the pointer changed
+    #: or the recipient is newly met, instead of re-broadcasting every
+    #: round.  Off by default — the default pipeline is paper-faithful.
+    economical_broadcast: bool = False
+
+    def ablated(self, **changes: bool) -> "RuleConfig":
+        """A copy with some flags flipped, e.g. ``cfg.ablated(ring=False)``."""
+        data = {
+            "virtual_nodes": self.virtual_nodes,
+            "overlap": self.overlap,
+            "closest_real": self.closest_real,
+            "linearize": self.linearize,
+            "ring": self.ring,
+            "connection": self.connection,
+            "wrap_pointers": self.wrap_pointers,
+            "economical_broadcast": self.economical_broadcast,
+        }
+        for key, value in changes.items():
+            if key not in data:
+                raise KeyError(f"unknown rule flag {key!r}")
+            data[key] = value
+        return RuleConfig(**data)
+
+
+@dataclass
+class RuleCounters:
+    """State-changing rule firings, by rule name."""
+
+    fires: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, rule: str, amount: int = 1) -> None:
+        """Record ``amount`` state-changing firings of ``rule``."""
+        if amount:
+            self.fires[rule] = self.fires.get(rule, 0) + amount
+
+    def total(self) -> int:
+        """Total state-changing firings recorded."""
+        return sum(self.fires.values())
+
+    def get(self, rule: str) -> int:
+        """Firings of one rule (0 if never fired)."""
+        return self.fires.get(rule, 0)
+
+    def merged(self, other: "RuleCounters") -> "RuleCounters":
+        """Counter union (for aggregating across peers)."""
+        out = RuleCounters(dict(self.fires))
+        for rule, amount in other.fires.items():
+            out.bump(rule, amount)
+        return out

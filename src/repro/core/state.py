@@ -1,0 +1,224 @@
+"""Per-peer protocol state.
+
+A peer simulates its real node ``u_0`` plus virtual nodes ``u_1..u_m``
+(the *siblings*).  Every simulated node keeps the outgoing neighborhoods
+of Section 2.2:
+
+* ``nu`` — unmarked edges ``E_u`` (includes the closest-real pointers
+  ``rl``/``rr`` exactly as in the paper's rule 3);
+* ``nr`` — ring edges ``E_r``;
+* ``nc`` — connection edges ``E_c``;
+* ``wrap_rl``/``wrap_rr`` — the wrap-around closest-real pointers of the
+  seam extension (DESIGN.md [D6]); these live outside ``nu`` so the
+  linearization never tries to "sort" an intentionally far edge;
+* ``rl``/``rr`` — cached results of rule 3's closest-real computation,
+  re-derived every round; they parameterize the receiver-side guards of
+  rule 3's candidate messages.
+
+All mutation happens through the owning peer's rule pipeline; this module
+only provides the containers plus the derived *knowledge* queries
+(``N``/``K`` in DESIGN.md [D5]).
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.noderef import NodeRef, make_ref
+from repro.idspace.ring import IdSpace
+
+#: sort-key accessor (C-level tuple compare beats NodeRef.__lt__ dispatch)
+_KEY = attrgetter("_key")
+
+
+class LocalNode:
+    """State of one simulated node (real or virtual).
+
+    The ``bcast_*`` fields are only used by the *economical broadcast*
+    extension (``RuleConfig.economical_broadcast``): they memoize the
+    last announced closest-real values and recipients so rule 3 can
+    suppress redundant re-announcements.  They are protocol state (they
+    influence the dynamics when the extension is on) and therefore part
+    of the canonical fingerprint.
+    """
+
+    __slots__ = (
+        "ref",
+        "nu",
+        "nr",
+        "nc",
+        "rl",
+        "rr",
+        "wrap_rl",
+        "wrap_rr",
+        "bcast_rl",
+        "bcast_rl_targets",
+        "bcast_rr",
+        "bcast_rr_targets",
+    )
+
+    def __init__(self, ref: NodeRef) -> None:
+        self.ref = ref
+        self.nu: Set[NodeRef] = set()
+        self.nr: Set[NodeRef] = set()
+        self.nc: Set[NodeRef] = set()
+        self.rl: Optional[NodeRef] = None
+        self.rr: Optional[NodeRef] = None
+        self.wrap_rl: Optional[NodeRef] = None
+        self.wrap_rr: Optional[NodeRef] = None
+        self.bcast_rl: Optional[NodeRef] = None
+        self.bcast_rl_targets: Optional[frozenset] = None
+        self.bcast_rr: Optional[NodeRef] = None
+        self.bcast_rr_targets: Optional[frozenset] = None
+
+    def wrap_refs(self) -> List[NodeRef]:
+        """The wrap pointers that are set, as a list."""
+        out = []
+        if self.wrap_rl is not None:
+            out.append(self.wrap_rl)
+        if self.wrap_rr is not None:
+            out.append(self.wrap_rr)
+        return out
+
+    def all_out_refs(self) -> Set[NodeRef]:
+        """Every outgoing reference of this node (all kinds + wraps)."""
+        out = set(self.nu)
+        out |= self.nr
+        out |= self.nc
+        out.update(self.wrap_refs())
+        return out
+
+    def canonical(self) -> tuple:
+        """Deterministic state tuple for fingerprints."""
+        def k(ref: Optional[NodeRef]) -> tuple | None:
+            return None if ref is None else ref.key
+
+        def ks(refs: Optional[frozenset]) -> tuple | None:
+            return None if refs is None else tuple(sorted(r.key for r in refs))
+
+        return (
+            self.ref.key,
+            tuple(sorted(r.key for r in self.nu)),
+            tuple(sorted(r.key for r in self.nr)),
+            tuple(sorted(r.key for r in self.nc)),
+            k(self.rl),
+            k(self.rr),
+            k(self.wrap_rl),
+            k(self.wrap_rr),
+            k(self.bcast_rl),
+            ks(self.bcast_rl_targets),
+            k(self.bcast_rr),
+            ks(self.bcast_rr_targets),
+        )
+
+
+class PeerState:
+    """All simulated nodes of one peer, plus derived knowledge queries."""
+
+    __slots__ = ("peer_id", "space", "nodes")
+
+    def __init__(self, peer_id: int, space: IdSpace) -> None:
+        space.check_id(peer_id)
+        self.peer_id = peer_id
+        self.space = space
+        self.nodes: Dict[int, LocalNode] = {0: LocalNode(make_ref(space, peer_id, 0))}
+
+    # ------------------------------------------------------------------
+    # sibling management
+    # ------------------------------------------------------------------
+    @property
+    def real_ref(self) -> NodeRef:
+        """The ref of the real node ``u_0``."""
+        return self.nodes[0].ref
+
+    def levels(self) -> List[int]:
+        """Existing levels, sorted ascending."""
+        return sorted(self.nodes)
+
+    def max_level(self) -> int:
+        """The highest existing level (``u_m``'s level; 0 only pre-step)."""
+        return max(self.nodes)
+
+    def ensure_level(self, level: int) -> LocalNode:
+        """Create the node at ``level`` (empty neighborhoods) if missing."""
+        node = self.nodes.get(level)
+        if node is None:
+            node = LocalNode(make_ref(self.space, self.peer_id, level))
+            self.nodes[level] = node
+        return node
+
+    def drop_level(self, level: int) -> LocalNode:
+        """Remove and return the node at ``level`` (never level 0)."""
+        if level == 0:
+            raise ValueError("the real node cannot be dropped")
+        return self.nodes.pop(level)
+
+    def sibling_refs(self) -> List[NodeRef]:
+        """Refs of all existing siblings, in linear (key) order."""
+        return sorted((n.ref for n in self.nodes.values()), key=_KEY)
+
+    def resolve(self, ref: NodeRef) -> Optional[LocalNode]:
+        """The local node a message to ``ref`` lands on.
+
+        Exact level if it exists; otherwise the current highest level
+        ``u_m``, which inherited deleted nodes' neighborhoods (DESIGN.md
+        [D8]).  Returns ``None`` only if the ref names another peer.
+        """
+        if ref.owner != self.peer_id:
+            return None
+        node = self.nodes.get(ref.level)
+        if node is not None:
+            return node
+        return self.nodes[self.max_level()]
+
+    # ------------------------------------------------------------------
+    # knowledge (the paper's N / DESIGN.md's K)
+    # ------------------------------------------------------------------
+    def knowledge(self) -> Set[NodeRef]:
+        """Every node ref this peer can name: siblings + all out-refs."""
+        known: Set[NodeRef] = {n.ref for n in self.nodes.values()}
+        for node in self.nodes.values():
+            known |= node.nu
+            known |= node.nr
+            known |= node.nc
+            known.update(node.wrap_refs())
+        return known
+
+    def known_reals(self, knowledge: Optional[Iterable[NodeRef]] = None) -> List[NodeRef]:
+        """All *real* refs in the peer's knowledge, sorted linearly."""
+        source = self.knowledge() if knowledge is None else knowledge
+        return sorted((r for r in source if r.level == 0), key=_KEY)
+
+    def closest_real_gap(self) -> int:
+        """Clockwise distance to the nearest known real node (≠ self).
+
+        Returns the full ring size when no other real node is known —
+        the ``m = 1`` case of rule 1.
+        """
+        best = self.space.size
+        me = self.peer_id
+        for ref in self.known_reals():
+            if ref.owner == me:
+                continue
+            d = self.space.distance_cw(me, ref.id)
+            if 0 < d < best:
+                best = d
+        return best
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def canonical(self) -> tuple:
+        """Deterministic peer-state tuple for fingerprints."""
+        return (
+            self.peer_id,
+            tuple(self.nodes[level].canonical() for level in sorted(self.nodes)),
+        )
+
+    def edge_count(self) -> int:
+        """Total outgoing edges of this peer (all kinds + wrap pointers)."""
+        return sum(
+            len(n.nu) + len(n.nr) + len(n.nc) + len(n.wrap_refs())
+            for n in self.nodes.values()
+        )

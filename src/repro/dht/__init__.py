@@ -1,0 +1,14 @@
+"""DHT application layer over the stabilized Re-Chord overlay.
+
+Fact 2.1 says the stable Re-Chord network contains Chord as a subgraph,
+"so it can faithfully emulate any applications on top of Chord".  This
+package is that application: consistent-hashing key placement, greedy
+O(log n)-hop lookups routed over the Re-Chord projection, and a
+replicated key-value store that survives churn (with re-stabilization in
+between).
+"""
+
+from repro.dht.lookup import ReChordRouter
+from repro.dht.storage import KeyValueStore
+
+__all__ = ["ReChordRouter", "KeyValueStore"]

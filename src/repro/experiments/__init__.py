@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper figure / claim.
+
+==============  ====================================================
+module          reproduces
+==============  ====================================================
+``fig5``        Fig. 5 — edges and nodes vs. number of real nodes
+``fig6``        Fig. 6 — rounds to stable / almost-stable state
+``fig7``        Fig. 7 — total edges vs. total nodes (+ fit)
+``scaling``     Theorem 1.1 — stabilization rounds growth
+``join_leave``  Theorems 4.1/4.2 — join / leave / crash recovery
+``lookup``      Fact 2.1 + Section 1.1 — Chord subgraph, hop counts
+``baseline``    Section 1 — classic Chord is not self-stabilizing
+``ablation``    rule ablations (ring / connection / overlap / wrap)
+``messages``    message complexity per round (E12)
+==============  ====================================================
+
+Every module exposes ``run_*`` (pure, seeded, returns dataclasses) and
+``format_*`` (ASCII rendering of the same rows the paper plots).  The CLI
+(`python -m repro`) and the benchmark suite are thin wrappers over these.
+"""
+
+from repro.experiments.runner import PAPER_SIZES, mean_std, sweep_sizes
+
+__all__ = ["PAPER_SIZES", "mean_std", "sweep_sizes"]

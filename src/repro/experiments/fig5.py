@@ -1,0 +1,58 @@
+"""Figure 5 — edges and nodes at stabilization vs. number of real nodes.
+
+The paper plots, for each network size, the mean number of *normal edges*
+(all edges except connection edges), *connection edges* and *virtual
+nodes* at the stabilization state over 30 random initial graphs.  The
+expected shapes (Section 2.2): virtual nodes grow as Θ(n log n), normal
+edges slightly super-linearly, and connection edges faster than normal
+edges (expected O(n log² n)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core import metrics as metrics_mod
+from repro.experiments.runner import (
+    DEFAULT_ROOT_SEED,
+    MeanStd,
+    PAPER_SIZES,
+    format_sweep,
+    sweep_sizes,
+)
+from repro.workloads.initial import build_random_network
+
+COLUMNS = ("normal_edges", "connection_edges", "virtual_nodes", "rounds")
+
+
+def measure_one(n: int, seed: int, max_rounds: int = 5000) -> Dict[str, float]:
+    """Stabilize one random network and count its structure."""
+    net = build_random_network(n=n, seed=seed)
+    report = net.run_until_stable(max_rounds=max_rounds)
+    m = metrics_mod.collect(net)
+    return {
+        "normal_edges": m.normal_edges,
+        "connection_edges": m.connection_edges,
+        "virtual_nodes": m.virtual_nodes,
+        "total_edges": m.total_edges,
+        "total_nodes": m.total_nodes,
+        "rounds": report.rounds_to_stable,
+    }
+
+
+def run_fig5(
+    sizes: Sequence[int] = PAPER_SIZES,
+    seeds: int = 10,
+    root_seed: int = DEFAULT_ROOT_SEED,
+) -> Dict[int, Dict[str, MeanStd]]:
+    """The Fig. 5 sweep (means per size)."""
+    return sweep_sizes(measure_one, sizes, seeds, root_seed, label="fig5")
+
+
+def format_fig5(result: Dict[int, Dict[str, MeanStd]]) -> str:
+    """Fig. 5 as an ASCII table."""
+    return format_sweep(
+        result,
+        columns=("normal_edges", "connection_edges", "virtual_nodes"),
+        title="Fig. 5 — edges and nodes at stabilization (means)",
+    )

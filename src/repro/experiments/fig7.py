@@ -1,0 +1,73 @@
+"""Figure 7 — total edges vs. total nodes in the final graph.
+
+A scatter over all runs: the paper observes total edges growing at a rate
+comparable to the total number of nodes (supporting the Section 2.2 edge
+accounting).  We reproduce the scatter and report the least-squares slope
+of edges against nodes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.fig5 import measure_one
+from repro.experiments.runner import DEFAULT_ROOT_SEED, PAPER_SIZES
+from repro.netsim.rng import SeedSequence
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Scatter points and the fitted edges-per-node slope."""
+
+    points: Tuple[Tuple[int, int], ...]  # (total_nodes, total_edges)
+    slope: float
+    intercept: float
+
+    def edges_per_node(self) -> float:
+        """Mean edges/node ratio over all points."""
+        return statistics.fmean(e / n for n, e in self.points if n)
+
+
+def run_fig7(
+    sizes: Sequence[int] = PAPER_SIZES,
+    seeds: int = 10,
+    root_seed: int = DEFAULT_ROOT_SEED,
+) -> Fig7Result:
+    """The Fig. 7 scatter (one point per stabilized run)."""
+    root = SeedSequence(root_seed)
+    points: List[Tuple[int, int]] = []
+    for n in sizes:
+        for rep in range(seeds):
+            seed = root.child("fig7", n=n, rep=rep).seed()
+            row = measure_one(n, seed)
+            points.append((int(row["total_nodes"]), int(row["total_edges"])))
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if len(set(xs)) > 1:
+        slope, intercept = statistics.linear_regression(xs, ys)
+    else:  # degenerate single-size sweep
+        slope, intercept = (ys[0] / xs[0] if xs[0] else 0.0), 0.0
+    return Fig7Result(tuple(points), slope, intercept)
+
+
+def format_fig7(result: Fig7Result, bins: int = 8) -> str:
+    """Fig. 7 as a binned ASCII series plus the fitted slope."""
+    pts = sorted(result.points)
+    lines = [
+        "Fig. 7 — total edges vs. total nodes in the final graph",
+        "=======================================================",
+        f"least-squares: edges ≈ {result.slope:.2f} * nodes + {result.intercept:.1f}",
+        f"mean edges/node ratio: {result.edges_per_node():.2f}",
+        "",
+        "   nodes     edges  (bin means)",
+    ]
+    if pts:
+        per_bin = max(1, len(pts) // bins)
+        for i in range(0, len(pts), per_bin):
+            chunk = pts[i : i + per_bin]
+            nodes = statistics.fmean(p[0] for p in chunk)
+            edges = statistics.fmean(p[1] for p in chunk)
+            lines.append(f"{nodes:8.0f}  {edges:8.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Theorems 4.1 / 4.2 — recovery after isolated joins and leaves.
+
+A network is first stabilized, then a single membership event is applied
+and the rounds until the configuration is stable *again* are measured.
+Expected shapes: joins are polylogarithmic (O(log² n)), graceful leaves
+and crashes logarithmic (O(log n)) — in particular both must grow far
+slower than fresh stabilization from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Sequence
+
+from repro.experiments.runner import (
+    DEFAULT_ROOT_SEED,
+    MeanStd,
+    format_sweep,
+    sweep_sizes,
+)
+from repro.workloads.initial import build_random_network, random_peer_ids
+
+DEFAULT_SIZES = (8, 16, 32, 64, 128)
+
+
+def measure_one(n: int, seed: int, max_rounds: int = 20_000) -> Dict[str, float]:
+    """Join, graceful-leave and crash recovery rounds at size ``n``.
+
+    All three events are measured against independently stabilized
+    networks built from the same seed, so the columns are comparable.
+    """
+    rng = random.Random(seed)
+
+    # --- join -----------------------------------------------------------
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=max_rounds)
+    new_id = random_peer_ids(1, rng, net.space)[0]
+    while new_id in net.peers:
+        new_id = random_peer_ids(1, rng, net.space)[0]
+    gateway = rng.choice(net.peer_ids)
+    net.join(new_id, gateway)
+    join_rounds = net.run_until_stable(max_rounds=max_rounds).rounds_to_stable
+
+    # --- graceful leave --------------------------------------------------
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=max_rounds)
+    victim = rng.choice(net.peer_ids)
+    net.leave(victim)
+    leave_rounds = net.run_until_stable(max_rounds=max_rounds).rounds_to_stable
+
+    # --- crash ------------------------------------------------------------
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=max_rounds)
+    victim = rng.choice(net.peer_ids)
+    net.crash(victim)
+    crash_rounds = net.run_until_stable(max_rounds=max_rounds).rounds_to_stable
+
+    log2n = math.log2(max(2, n))
+    return {
+        "join_rounds": join_rounds,
+        "leave_rounds": leave_rounds,
+        "crash_rounds": crash_rounds,
+        "join_over_log2sq": join_rounds / (log2n * log2n),
+        "leave_over_log2": leave_rounds / log2n,
+    }
+
+
+def run_join_leave(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: int = 5,
+    root_seed: int = DEFAULT_ROOT_SEED,
+) -> Dict[int, Dict[str, MeanStd]]:
+    """The Theorem 4.1/4.2 sweep."""
+    return sweep_sizes(measure_one, sizes, seeds, root_seed, label="joinleave")
+
+
+def format_join_leave(result: Dict[int, Dict[str, MeanStd]]) -> str:
+    """Join/leave recovery table."""
+    return format_sweep(
+        result,
+        columns=(
+            "join_rounds",
+            "leave_rounds",
+            "crash_rounds",
+            "join_over_log2sq",
+            "leave_over_log2",
+        ),
+        title="Theorems 4.1/4.2 — recovery rounds after isolated churn events",
+    )

@@ -1,0 +1,74 @@
+"""Fact 2.1 + Section 1.1 — Chord emulation on the stable overlay.
+
+Two claims are verified per stabilized network:
+
+* **Chord subgraph** (Fact 2.1): every classical Chord edge (successor +
+  fingers with wrap-around) appears in the projected Re-Chord graph;
+* **O(log n) routing**: greedy lookups over the projection take
+  logarithmically many hops w.h.p. — reported as mean/max over random
+  (start, key) samples, with a ``hops / log2 n`` column that must stay
+  bounded.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Sequence
+
+from repro.core.ideal import chord_edges
+from repro.dht.lookup import ReChordRouter
+from repro.experiments.runner import (
+    DEFAULT_ROOT_SEED,
+    MeanStd,
+    format_sweep,
+    sweep_sizes,
+)
+from repro.workloads.initial import build_random_network
+
+DEFAULT_SIZES = (8, 16, 32, 64, 128)
+
+
+def measure_one(n: int, seed: int, samples: int = 50, max_rounds: int = 20_000) -> Dict[str, float]:
+    """Stabilize, verify the Chord subgraph, sample greedy lookups."""
+    rng = random.Random(seed)
+    net = build_random_network(n=n, seed=seed)
+    net.run_until_stable(max_rounds=max_rounds)
+
+    want = chord_edges(net.space, net.peer_ids)
+    have = net.rechord_projection()
+    covered = sum(1 for e in want if e in have)
+    coverage = covered / len(want) if want else 1.0
+
+    router = ReChordRouter(net)
+    ids = net.peer_ids
+    hops = []
+    for _ in range(samples):
+        start = rng.choice(ids)
+        key = rng.randrange(net.space.size)
+        hops.append(router.route_id(start, key).hops)
+    log2n = math.log2(max(2, n))
+    return {
+        "chord_coverage": coverage,
+        "mean_hops": sum(hops) / len(hops),
+        "max_hops": max(hops),
+        "hops_over_log2": (sum(hops) / len(hops)) / log2n,
+    }
+
+
+def run_lookup(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: int = 5,
+    root_seed: int = DEFAULT_ROOT_SEED,
+) -> Dict[int, Dict[str, MeanStd]]:
+    """The Fact 2.1 / lookup sweep."""
+    return sweep_sizes(measure_one, sizes, seeds, root_seed, label="lookup")
+
+
+def format_lookup(result: Dict[int, Dict[str, MeanStd]]) -> str:
+    """Chord-emulation table."""
+    return format_sweep(
+        result,
+        columns=("chord_coverage", "mean_hops", "max_hops", "hops_over_log2"),
+        title="Fact 2.1 — Chord subgraph coverage and greedy lookup hops",
+    )

@@ -1,0 +1,75 @@
+"""Message complexity over time (E12).
+
+The synchronous model hides message costs from the round counts, so this
+experiment surfaces them: per-round message counts during stabilization
+and the steady-state rate once stable (the stable state is a constant
+flow — connection-edge streams, candidate announcements, ring re-issues
+— whose volume is part of the protocol's operating cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.experiments.runner import DEFAULT_ROOT_SEED
+from repro.netsim.rng import SeedSequence
+from repro.workloads.initial import build_random_network
+
+
+@dataclass(frozen=True)
+class MessageProfile:
+    """Per-round message series for one stabilization run."""
+
+    n: int
+    series: Tuple[int, ...]
+    rounds_to_stable: int
+
+    @property
+    def peak(self) -> int:
+        """Largest per-round message count."""
+        return max(self.series, default=0)
+
+    @property
+    def steady_rate(self) -> int:
+        """Messages per round in the stable state (last recorded round)."""
+        return self.series[-1] if self.series else 0
+
+    @property
+    def total(self) -> int:
+        """Total messages until stabilization."""
+        return sum(self.series)
+
+
+def run_messages(n: int = 32, seed: int | None = None, root_seed: int = DEFAULT_ROOT_SEED) -> MessageProfile:
+    """Trace one stabilization run's message counts."""
+    if seed is None:
+        seed = SeedSequence(root_seed).child("messages", n=n).seed()
+    net = build_random_network(n=n, seed=seed, record_trace=True)
+    report = net.run_until_stable(max_rounds=20_000)
+    # two extra rounds past stability to sample the steady-state rate
+    net.run(2)
+    assert net.trace is not None
+    return MessageProfile(
+        n=n,
+        series=tuple(net.trace.messages_series()),
+        rounds_to_stable=report.rounds_to_stable,
+    )
+
+
+def format_messages(profile: MessageProfile) -> str:
+    """Message-complexity report with a small ASCII sparkline."""
+    peak = max(1, profile.peak)
+    blocks = " ▁▂▃▄▅▆▇█"
+    spark = "".join(blocks[min(8, (9 * v) // (peak + 1))] for v in profile.series)
+    return "\n".join(
+        [
+            f"E12 — message complexity (n={profile.n})",
+            "=" * 40,
+            f"rounds to stable : {profile.rounds_to_stable}",
+            f"peak msgs/round  : {profile.peak}",
+            f"steady msgs/round: {profile.steady_rate}",
+            f"total msgs       : {profile.total}",
+            f"per-round series : {spark}",
+        ]
+    )

@@ -1,0 +1,103 @@
+"""Shared sweep/aggregation machinery for the experiments.
+
+The paper runs every scenario on sizes ``{5, 15, 25, 35, 45, 65, 85,
+105}`` with 30 random graphs per size and reports means.  ``sweep_sizes``
+reproduces that pattern: a per-(size, seed) measurement function is
+evaluated over the grid with independent derived seeds, and the rows are
+aggregated per size.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.netsim.rng import SeedSequence
+
+#: the sizes simulated in the paper's Section 5
+PAPER_SIZES: Tuple[int, ...] = (5, 15, 25, 35, 45, 65, 85, 105)
+
+#: the paper's repetitions per size
+PAPER_SEEDS = 30
+
+#: root seed for all experiments (the venue year; any constant works)
+DEFAULT_ROOT_SEED = 2011
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """Mean and sample standard deviation of a metric."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".1f"
+        return f"{self.mean:{spec}}±{self.std:{spec}}"
+
+
+def mean_std(values: Sequence[float]) -> MeanStd:
+    """Aggregate a sample (std is 0 for singletons)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("no values to aggregate")
+    m = statistics.fmean(vals)
+    s = statistics.stdev(vals) if len(vals) > 1 else 0.0
+    return MeanStd(m, s, len(vals))
+
+
+MeasureFn = Callable[[int, int], Dict[str, float]]
+
+
+def sweep_sizes(
+    measure: MeasureFn,
+    sizes: Sequence[int],
+    seeds: int,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    label: str = "sweep",
+) -> Dict[int, Dict[str, MeanStd]]:
+    """Evaluate ``measure(n, seed)`` over the grid and aggregate per size.
+
+    ``measure`` returns a flat dict of metric name -> value; the result
+    maps ``n`` -> metric name -> :class:`MeanStd`.  Seeds are derived
+    per (label, n, repetition) so any single cell can be reproduced in
+    isolation.
+    """
+    if seeds < 1:
+        raise ValueError("need at least one seed")
+    root = SeedSequence(root_seed)
+    out: Dict[int, Dict[str, MeanStd]] = {}
+    for n in sizes:
+        samples: Dict[str, List[float]] = {}
+        for rep in range(seeds):
+            seed = root.child(label, n=n, rep=rep).seed()
+            row = measure(n, seed)
+            for key, value in row.items():
+                samples.setdefault(key, []).append(float(value))
+        out[n] = {key: mean_std(vals) for key, vals in samples.items()}
+    return out
+
+
+def format_sweep(
+    result: Dict[int, Dict[str, MeanStd]],
+    columns: Sequence[str],
+    title: str,
+) -> str:
+    """Render a sweep result as an ASCII table (one row per size)."""
+    headers = ["n"] + list(columns)
+    rows: List[List[str]] = []
+    for n in sorted(result):
+        row = [str(n)]
+        for col in columns:
+            cell = result[n].get(col)
+            row.append("-" if cell is None else f"{cell:.1f}")
+        rows.append(row)
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

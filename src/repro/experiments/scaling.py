@@ -1,0 +1,56 @@
+"""Theorem 1.1 — stabilization-time scaling.
+
+The theorem bounds self-stabilization by O(n log n) rounds w.h.p.; the
+paper's simulations observe sublinear-to-linear growth and conclude the
+bound is probably not tight.  This experiment measures rounds-to-stable
+over a geometric size ladder and reports the growth against three
+reference shapes (log n, n, n log n) so the conclusion can be checked at
+a glance: the normalized ``rounds / n log n`` column must *decrease* if
+the paper's observation holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.experiments.runner import (
+    DEFAULT_ROOT_SEED,
+    MeanStd,
+    format_sweep,
+    sweep_sizes,
+)
+from repro.workloads.initial import build_random_network
+
+DEFAULT_SIZES = (8, 16, 32, 64, 128)
+
+
+def measure_one(n: int, seed: int, max_rounds: int = 20_000) -> Dict[str, float]:
+    """Rounds to stable for one random start, plus normalized forms."""
+    net = build_random_network(n=n, seed=seed)
+    report = net.run_until_stable(max_rounds=max_rounds)
+    rounds = report.rounds_to_stable
+    return {
+        "rounds": rounds,
+        "rounds_over_logn": rounds / math.log2(max(2, n)),
+        "rounds_over_n": rounds / n,
+        "rounds_over_nlogn": rounds / (n * math.log2(max(2, n))),
+    }
+
+
+def run_scaling(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: int = 5,
+    root_seed: int = DEFAULT_ROOT_SEED,
+) -> Dict[int, Dict[str, MeanStd]]:
+    """The Theorem 1.1 scaling sweep."""
+    return sweep_sizes(measure_one, sizes, seeds, root_seed, label="scaling")
+
+
+def format_scaling(result: Dict[int, Dict[str, MeanStd]]) -> str:
+    """Scaling table with normalized columns."""
+    return format_sweep(
+        result,
+        columns=("rounds", "rounds_over_logn", "rounds_over_n", "rounds_over_nlogn"),
+        title="Theorem 1.1 — stabilization rounds vs. n (O(n log n) bound)",
+    )

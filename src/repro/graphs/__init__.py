@@ -1,0 +1,40 @@
+"""Graph substrate: typed directed multigraphs, connectivity, generators.
+
+The overlay is modeled as a directed graph whose edges carry a *kind*
+(unmarked / ring / connection / real-pointer).  This package provides the
+standalone graph machinery: a small typed digraph container, union-find,
+weak-connectivity queries and the initial-topology generators used by the
+paper's simulations (random weakly connected graphs) plus the adversarial
+shapes used in our robustness tests.
+"""
+
+from repro.graphs.digraph import EdgeKind, TypedDigraph
+from repro.graphs.unionfind import UnionFind
+from repro.graphs.connectivity import (
+    is_weakly_connected,
+    weakly_connected_components,
+)
+from repro.graphs.generators import (
+    gnp_connected_graph,
+    line_graph,
+    lollipop_graph,
+    random_orientation,
+    random_spanning_tree,
+    star_graph,
+    two_cliques_bridge,
+)
+
+__all__ = [
+    "EdgeKind",
+    "TypedDigraph",
+    "UnionFind",
+    "is_weakly_connected",
+    "weakly_connected_components",
+    "gnp_connected_graph",
+    "line_graph",
+    "lollipop_graph",
+    "random_orientation",
+    "random_spanning_tree",
+    "star_graph",
+    "two_cliques_bridge",
+]

@@ -1,0 +1,195 @@
+"""A small directed multigraph with typed edges.
+
+The Re-Chord overlay graph carries edges of several kinds (the paper's
+``E_u``, ``E_r``, ``E_c`` plus this reproduction's real-pointer kind); the
+same ordered pair may appear once per kind, making the graph a multigraph
+exactly as Section 2.2 allows.  This container is used for topology
+snapshots, metrics and the ideal-topology oracle; the live protocol keeps
+its own per-peer adjacency for locality.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+
+class EdgeKind(enum.Enum):
+    """Edge markings of the Re-Chord overlay graph."""
+
+    UNMARKED = "u"  #: the paper's E_u — linearization substrate
+    RING = "r"      #: the paper's E_r — seam-closing ring edges
+    CONNECTION = "c"  #: the paper's E_c — sibling-chain repair edges
+    REAL_POINTER = "p"  #: rl/rr/wrap pointers (DESIGN.md [D4]/[D6])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+Edge = Tuple[Hashable, Hashable, EdgeKind]
+
+
+class TypedDigraph:
+    """Directed multigraph where parallel edges differ by :class:`EdgeKind`."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[Hashable, Dict[EdgeKind, Set[Hashable]]] = {}
+        self._pred: Dict[Hashable, Dict[EdgeKind, Set[Hashable]]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def add_node(self, v: Hashable) -> None:
+        """Add an isolated node (no-op if present)."""
+        if v not in self._succ:
+            self._succ[v] = {}
+            self._pred[v] = {}
+
+    def remove_node(self, v: Hashable) -> None:
+        """Remove ``v`` and all incident edges."""
+        if v not in self._succ:
+            raise KeyError(v)
+        for kind, targets in list(self._succ[v].items()):
+            for w in list(targets):
+                self.remove_edge(v, w, kind)
+        for kind, sources in list(self._pred[v].items()):
+            for w in list(sources):
+                self.remove_edge(w, v, kind)
+        del self._succ[v]
+        del self._pred[v]
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> Iterator[Hashable]:
+        """Iterate over nodes."""
+        return iter(self._succ)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def add_edge(self, u: Hashable, v: Hashable, kind: EdgeKind = EdgeKind.UNMARKED) -> bool:
+        """Add edge ``(u, v)`` of ``kind``; returns ``False`` if present."""
+        self.add_node(u)
+        self.add_node(v)
+        bucket = self._succ[u].setdefault(kind, set())
+        if v in bucket:
+            return False
+        bucket.add(v)
+        self._pred[v].setdefault(kind, set()).add(u)
+        self._edge_count += 1
+        return True
+
+    def remove_edge(self, u: Hashable, v: Hashable, kind: EdgeKind = EdgeKind.UNMARKED) -> None:
+        """Remove edge ``(u, v)`` of ``kind``; raises ``KeyError`` if absent."""
+        try:
+            self._succ[u][kind].remove(v)
+            self._pred[v][kind].remove(u)
+        except KeyError as exc:
+            raise KeyError((u, v, kind)) from exc
+        self._edge_count -= 1
+
+    def has_edge(self, u: Hashable, v: Hashable, kind: EdgeKind | None = None) -> bool:
+        """Edge presence test; ``kind=None`` means "of any kind"."""
+        buckets = self._succ.get(u)
+        if buckets is None:
+            return False
+        if kind is not None:
+            return v in buckets.get(kind, ())
+        return any(v in targets for targets in buckets.values())
+
+    def successors(self, v: Hashable, kind: EdgeKind | None = None) -> Set[Hashable]:
+        """Out-neighbors of ``v`` (all kinds merged when ``kind=None``)."""
+        buckets = self._succ.get(v)
+        if buckets is None:
+            raise KeyError(v)
+        if kind is not None:
+            return set(buckets.get(kind, ()))
+        out: Set[Hashable] = set()
+        for targets in buckets.values():
+            out |= targets
+        return out
+
+    def predecessors(self, v: Hashable, kind: EdgeKind | None = None) -> Set[Hashable]:
+        """In-neighbors of ``v`` (all kinds merged when ``kind=None``)."""
+        buckets = self._pred.get(v)
+        if buckets is None:
+            raise KeyError(v)
+        if kind is not None:
+            return set(buckets.get(kind, ()))
+        out: Set[Hashable] = set()
+        for sources in buckets.values():
+            out |= sources
+        return out
+
+    def edges(self, kind: EdgeKind | None = None) -> Iterator[Edge]:
+        """Iterate ``(u, v, kind)`` triples, optionally filtered by kind."""
+        for u, buckets in self._succ.items():
+            for k, targets in buckets.items():
+                if kind is not None and k is not kind:
+                    continue
+                for v in targets:
+                    yield (u, v, k)
+
+    def edge_count(self, kind: EdgeKind | None = None) -> int:
+        """Number of edges, optionally of one kind."""
+        if kind is None:
+            return self._edge_count
+        return sum(len(b.get(kind, ())) for b in self._succ.values())
+
+    def out_degree(self, v: Hashable, kind: EdgeKind | None = None) -> int:
+        """Out-degree of ``v`` (by kind or total)."""
+        buckets = self._succ.get(v)
+        if buckets is None:
+            raise KeyError(v)
+        if kind is not None:
+            return len(buckets.get(kind, ()))
+        return sum(len(t) for t in buckets.values())
+
+    def in_degree(self, v: Hashable, kind: EdgeKind | None = None) -> int:
+        """In-degree of ``v`` (by kind or total)."""
+        buckets = self._pred.get(v)
+        if buckets is None:
+            raise KeyError(v)
+        if kind is not None:
+            return len(buckets.get(kind, ()))
+        return sum(len(t) for t in buckets.values())
+
+    # ------------------------------------------------------------------
+    # views / conversions
+    # ------------------------------------------------------------------
+    def undirected_neighbors(self, v: Hashable) -> Set[Hashable]:
+        """All nodes adjacent to ``v`` ignoring direction and kind."""
+        return self.successors(v) | self.predecessors(v)
+
+    def copy(self) -> "TypedDigraph":
+        """Deep copy of the graph."""
+        g = TypedDigraph()
+        for v in self.nodes():
+            g.add_node(v)
+        for u, v, k in self.edges():
+            g.add_edge(u, v, k)
+        return g
+
+    def subgraph_kinds(self, kinds: Iterable[EdgeKind]) -> "TypedDigraph":
+        """Graph restricted to the given edge kinds (same node set)."""
+        wanted = set(kinds)
+        g = TypedDigraph()
+        for v in self.nodes():
+            g.add_node(v)
+        for u, v, k in self.edges():
+            if k in wanted:
+                g.add_edge(u, v, k)
+        return g
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TypedDigraph):
+            return NotImplemented
+        return set(self.nodes()) == set(other.nodes()) and set(self.edges()) == set(other.edges())
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable container
+        raise TypeError("TypedDigraph is unhashable")

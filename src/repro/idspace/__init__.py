@@ -1,0 +1,25 @@
+"""Identifier-space arithmetic for ring overlays.
+
+The paper draws identifiers uniformly from ``[0, 1)``.  This package
+implements the equivalent integer identifier circle ``[0, 2**bits)`` (exact
+arithmetic, no float rounding) together with the interval algebra, distance
+functions, virtual-node positions and Chord finger targets used throughout
+the reproduction.
+"""
+
+from repro.idspace.ring import (
+    DEFAULT_BITS,
+    IdSpace,
+    ring_between_open,
+    ring_distance_cw,
+)
+from repro.idspace.keys import hash_to_id, key_id
+
+__all__ = [
+    "DEFAULT_BITS",
+    "IdSpace",
+    "ring_between_open",
+    "ring_distance_cw",
+    "hash_to_id",
+    "key_id",
+]

@@ -1,0 +1,31 @@
+"""Consistent hashing of peer addresses and data keys onto the id circle.
+
+Chord hashes peer addresses and data keys with SHA-1 onto the identifier
+circle (the paper's ``h : U -> [0, 1)``).  We reproduce that: names are
+hashed with SHA-1 and the digest is truncated to the id-space width.  The
+experiments instead draw ids uniformly at random, which is exactly the
+distributional assumption the paper's analysis makes; both paths are
+supported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.idspace.ring import IdSpace
+
+
+def hash_to_id(name: str | bytes, space: IdSpace) -> int:
+    """Hash an arbitrary name uniformly onto ``[0, 2**bits)`` via SHA-1.
+
+    The full 160-bit digest is reduced modulo the ring size, matching
+    Chord's use of SHA-1 as the consistent-hashing function.
+    """
+    data = name.encode("utf-8") if isinstance(name, str) else bytes(name)
+    digest = hashlib.sha1(data).digest()
+    return int.from_bytes(digest, "big") % space.size
+
+
+def key_id(key: str | bytes, space: IdSpace) -> int:
+    """Identifier of a data key (alias of :func:`hash_to_id` for clarity)."""
+    return hash_to_id(key, space)

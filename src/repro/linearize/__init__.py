@@ -1,0 +1,13 @@
+"""Graph linearization baseline (Onus, Richa, Scheideler — ALENEX 2007).
+
+The local-control technique Re-Chord builds on: every node repeatedly
+keeps only its closest left/right neighbors and delegates the rest, which
+converts any weakly connected graph into the sorted doubly linked list.
+Re-Chord is "linearization + virtual nodes + ring/connection/real-pointer
+rules"; this standalone baseline lets the experiments separate the cost
+of sorting from the cost of the Chord structure.
+"""
+
+from repro.linearize.protocol import LinearizeNetwork, LinearizePeer
+
+__all__ = ["LinearizeNetwork", "LinearizePeer"]

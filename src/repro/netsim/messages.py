@@ -1,0 +1,24 @@
+"""Message envelopes for the synchronous kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight between two actors.
+
+    ``sender``/``target`` are actor keys known to the scheduler; ``payload``
+    is protocol-defined and treated opaquely by the kernel.  Envelopes are
+    immutable: the synchronous model forbids a sender from mutating a
+    message after the send.
+    """
+
+    sender: Hashable
+    target: Hashable
+    payload: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Envelope({self.sender!r} -> {self.target!r}: {self.payload!r})"

@@ -1,0 +1,200 @@
+"""The synchronous round scheduler.
+
+Semantics (paper Section 2.1):
+
+* all actors conceptually step **in parallel** each round — an actor may
+  only read its own state and the messages delivered to it at the previous
+  round boundary;
+* messages sent during round ``i`` are buffered and delivered together at
+  the end of round ``i``;
+* the global state at each round boundary is therefore well defined.
+
+The scheduler iterates actors in sorted-key order for determinism, but
+because actors cannot read each other's state the iteration order is
+unobservable to a correct protocol (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence
+
+from repro.netsim.messages import Envelope
+from repro.netsim.trace import TraceRecorder
+
+
+class Actor(Protocol):
+    """Protocol for scheduler participants.
+
+    ``step`` is invoked once per round with the actor's fresh inbox and a
+    :class:`RoundContext` used to emit messages.
+    """
+
+    def step(self, inbox: Sequence[Envelope], ctx: "RoundContext") -> None:
+        """Execute one synchronous round."""
+        ...  # pragma: no cover - protocol declaration
+
+
+class RoundContext:
+    """Per-actor view of the current round, used to send messages."""
+
+    __slots__ = ("round_no", "self_key", "_outbox", "_scheduler")
+
+    def __init__(self, round_no: int, self_key: Hashable, scheduler: "SynchronousScheduler") -> None:
+        self.round_no = round_no
+        self.self_key = self_key
+        self._outbox: List[Envelope] = []
+        self._scheduler = scheduler
+
+    def send(self, target: Hashable, payload: Any) -> None:
+        """Queue a message for delivery at the end of this round."""
+        self._outbox.append(Envelope(self.self_key, target, payload))
+
+    def actor_exists(self, key: Hashable) -> bool:
+        """Liveness oracle: whether ``key`` is currently registered.
+
+        Models the connection-layer knowledge that a remote endpoint is
+        gone (failed keep-alive); protocols use it to purge dead references
+        (DESIGN.md [D7]).  It reveals no topology information.
+        """
+        return self._scheduler.has_actor(key)
+
+
+class SynchronousScheduler:
+    """Drives a set of actors through synchronous rounds."""
+
+    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+        self._actors: Dict[Hashable, Actor] = {}
+        self._inboxes: Dict[Hashable, List[Envelope]] = {}
+        self._round = 0
+        self._trace = trace
+        #: messages addressed to unregistered actors in the last round
+        self.dropped_last_round = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_actor(self, key: Hashable, actor: Actor) -> None:
+        """Register a new actor (effective immediately)."""
+        if key in self._actors:
+            raise KeyError(f"actor {key!r} already registered")
+        self._actors[key] = actor
+        self._inboxes[key] = []
+
+    def remove_actor(self, key: Hashable) -> Actor:
+        """Remove an actor; undelivered messages to it will be dropped."""
+        actor = self._actors.pop(key)
+        self._inboxes.pop(key, None)
+        return actor
+
+    def has_actor(self, key: Hashable) -> bool:
+        """Whether ``key`` is registered."""
+        return key in self._actors
+
+    def actor(self, key: Hashable) -> Actor:
+        """Look up an actor by key."""
+        return self._actors[key]
+
+    def actor_keys(self) -> List[Hashable]:
+        """Sorted list of registered actor keys."""
+        return sorted(self._actors)
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def round_no(self) -> int:
+        """Number of completed rounds."""
+        return self._round
+
+    def pending_messages(self) -> int:
+        """Messages waiting in inboxes for the next round."""
+        return sum(len(box) for box in self._inboxes.values())
+
+    def all_pending(self) -> List[Envelope]:
+        """All messages waiting for the next round (snapshot copy).
+
+        Needed by protocols whose stable state is a constant *flow*: the
+        global fingerprint must include in-flight messages.
+        """
+        out: List[Envelope] = []
+        for key in sorted(self._inboxes):
+            out.extend(self._inboxes[key])
+        return out
+
+    def post(self, envelope: Envelope) -> bool:
+        """Inject a message from outside the round loop.
+
+        Used for out-of-band events such as a departing peer's farewell
+        introductions (Section 4.2).  Returns ``False`` (dropping the
+        message) if the target is not registered.
+        """
+        box = self._inboxes.get(envelope.target)
+        if box is None:
+            return False
+        box.append(envelope)
+        return True
+
+    def run_round(self, active: Optional[set] = None) -> None:
+        """Execute one synchronous round.
+
+        ``active`` restricts which actors step this round (fair partial
+        activation — the standard bridge from the synchronous model
+        toward asynchrony: a sleeping actor keeps its state and inbox
+        untouched).  ``None`` activates everyone, the paper's model.
+        """
+        round_no = self._round
+        outboxes: List[List[Envelope]] = []
+        # Snapshot keys: actors added mid-round (e.g. by a join event
+        # processed inside another actor) first step next round.
+        keys = sorted(self._actors)
+        for key in keys:
+            if active is not None and key not in active:
+                continue
+            actor = self._actors.get(key)
+            if actor is None:  # removed by an earlier actor this round
+                continue
+            inbox = self._inboxes.get(key, [])
+            self._inboxes[key] = []
+            ctx = RoundContext(round_no, key, self)
+            actor.step(inbox, ctx)
+            outboxes.append(ctx._outbox)
+
+        sent = 0
+        dropped = 0
+        for outbox in outboxes:
+            for env in outbox:
+                sent += 1
+                box = self._inboxes.get(env.target)
+                if box is None:
+                    dropped += 1
+                    continue
+                box.append(env)
+        self.dropped_last_round = dropped
+        if self._trace is not None:
+            self._trace.record_round(round_no, actors=len(keys), sent=sent, dropped=dropped)
+        self._round += 1
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` consecutive rounds."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.run_round()
+
+    def run_until(self, predicate: Callable[[], bool], max_rounds: int) -> int:
+        """Run until ``predicate()`` holds at a round boundary.
+
+        Returns the number of rounds executed.  Raises ``RuntimeError`` if
+        the predicate is still false after ``max_rounds`` rounds, so that
+        non-converging protocols fail loudly in tests and experiments.
+        """
+        if predicate():
+            return 0
+        for executed in range(1, max_rounds + 1):
+            self.run_round()
+            if predicate():
+                return executed
+        raise RuntimeError(f"predicate not reached within {max_rounds} rounds")

@@ -1,0 +1,55 @@
+"""Round-level tracing: message counts and actor counts over time.
+
+Used by the message-complexity experiment (E12) and by debugging tools.
+Recording is O(1) per round and allocation-light so it can stay enabled
+during benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Statistics of a single synchronous round."""
+
+    round_no: int
+    actors: int
+    sent: int
+    dropped: int
+
+
+class TraceRecorder:
+    """Accumulates :class:`RoundStats` for every executed round."""
+
+    def __init__(self) -> None:
+        self._rounds: List[RoundStats] = []
+
+    def record_round(self, round_no: int, actors: int, sent: int, dropped: int) -> None:
+        """Append one round record (called by the scheduler)."""
+        self._rounds.append(RoundStats(round_no, actors, sent, dropped))
+
+    def __len__(self) -> int:
+        return len(self._rounds)
+
+    def rounds(self) -> List[RoundStats]:
+        """All recorded rounds in execution order."""
+        return list(self._rounds)
+
+    def total_messages(self) -> int:
+        """Total messages sent across all recorded rounds."""
+        return sum(r.sent for r in self._rounds)
+
+    def peak_round_messages(self) -> int:
+        """Largest per-round message count (0 if nothing recorded)."""
+        return max((r.sent for r in self._rounds), default=0)
+
+    def messages_series(self) -> List[int]:
+        """Per-round sent-message counts, in order."""
+        return [r.sent for r in self._rounds]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._rounds.clear()

@@ -1,0 +1,24 @@
+"""Workloads: initial states and churn schedules.
+
+The paper's Section 5 workload — random weakly connected graphs over real
+nodes with uniformly random identifiers — plus the adversarial initial
+shapes and churn schedules used by the robustness experiments.
+"""
+
+from repro.workloads.initial import (
+    build_random_network,
+    build_shaped_network,
+    corrupt_network,
+    random_peer_ids,
+)
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, apply_event
+
+__all__ = [
+    "build_random_network",
+    "build_shaped_network",
+    "corrupt_network",
+    "random_peer_ids",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "apply_event",
+]

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import pytest
+from hypothesis import settings
+
+from repro.core.network import ReChordNetwork
+from repro.core.protocol import REF_OK
+from repro.core.rules import RuleConfig
+from repro.core.state import PeerState
+from repro.idspace.ring import IdSpace
+
+# Keep property-based tests fast and deterministic in CI.
+settings.register_profile("suite", max_examples=30, deadline=None, derandomize=True)
+settings.load_profile("suite")
+
+
+@pytest.fixture
+def space16() -> IdSpace:
+    """A tiny 16-bit id space for hand-computed cases."""
+    return IdSpace(16)
+
+
+@pytest.fixture
+def space8() -> IdSpace:
+    """An 8-bit id space (256 positions) for exhaustive checks."""
+    return IdSpace(8)
+
+
+class SendRecorder:
+    """Stand-in for :class:`RoundContext` that records sends.
+
+    Used by the per-rule unit tests to execute a single peer's rules in
+    isolation and inspect the delayed assignments it would emit.
+    """
+
+    def __init__(self, round_no: int = 0, alive: Any = None) -> None:
+        self.round_no = round_no
+        self.sent: List[Tuple[int, Any]] = []
+        self._alive = alive if alive is not None else (lambda key: True)
+
+    def send(self, target: int, payload: Any) -> None:
+        self.sent.append((target, payload))
+
+    def actor_exists(self, key: int) -> bool:
+        return self._alive(key)
+
+    def payloads_to(self, target: int) -> List[Any]:
+        """All payloads addressed to one peer."""
+        return [p for t, p in self.sent if t == target]
+
+
+@pytest.fixture
+def recorder() -> SendRecorder:
+    """A fresh send recorder."""
+    return SendRecorder()
+
+
+def make_peer(space: IdSpace, peer_id: int, config: RuleConfig | None = None):
+    """A standalone ReChordPeer whose liveness oracle says everything is OK."""
+    from repro.core.protocol import ReChordPeer
+
+    state = PeerState(peer_id, space)
+    return ReChordPeer(state, config or RuleConfig(), lambda ref: REF_OK)
+
+
+def stabilized(n: int, seed: int, **kw) -> ReChordNetwork:
+    """A stabilized random network (asserts it reaches the ideal state)."""
+    from repro.workloads.initial import build_random_network
+
+    net = build_random_network(n=n, seed=seed, **kw)
+    net.run_until_stable(max_rounds=5000)
+    assert net.matches_ideal(), net.ideal_mismatches(limit=5)
+    return net

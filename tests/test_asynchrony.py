@@ -1,0 +1,91 @@
+"""Fair partial activation and convergence-time routability."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.asynchrony import (
+    format_asynchrony,
+    measure_one,
+    rounds_to_ideal_under_activation,
+    run_asynchrony,
+)
+from repro.experiments.usability import format_usability, run_usability
+from repro.workloads.initial import build_random_network
+
+
+class TestPartialActivation:
+    def test_scheduler_skips_inactive(self):
+        net = build_random_network(n=6, seed=0)
+        before = net.fingerprint()
+        net.run_round(active=set())  # nobody steps
+        assert net.fingerprint() == before
+
+    def test_sleeping_peer_keeps_inbox(self):
+        net = build_random_network(n=4, seed=1)
+        sleeper = net.peer_ids[0]
+        others = set(net.peer_ids) - {sleeper}
+        for _ in range(3):
+            net.run_round(active=others)
+        # messages addressed to the sleeper piled up
+        pending_for_sleeper = [
+            env for env in net.scheduler.all_pending() if env.target == sleeper
+        ]
+        assert pending_for_sleeper
+
+    def test_full_activation_matches_default(self):
+        a = build_random_network(n=8, seed=2)
+        b = build_random_network(n=8, seed=2)
+        for _ in range(10):
+            a.run_round()
+            b.run_round(active=set(b.peer_ids))
+            assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("p", [0.7, 0.4])
+    def test_converges_under_fair_activation(self, p):
+        rounds = rounds_to_ideal_under_activation(10, seed=3, activation=p)
+        sync = rounds_to_ideal_under_activation(10, seed=3, activation=1.0)
+        assert rounds >= sync
+        # stretch roughly bounded by a few multiples of 1/p
+        assert rounds <= sync * (4 / p)
+
+    def test_rejects_zero_activation(self):
+        with pytest.raises(ValueError):
+            rounds_to_ideal_under_activation(4, seed=0, activation=0.0)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=8)
+    def test_property_partial_activation_still_stabilizes(self, seed):
+        rounds = rounds_to_ideal_under_activation(6, seed=seed, activation=0.5)
+        assert rounds >= 1
+
+    def test_sweep_and_format(self):
+        result = run_asynchrony(sizes=(6,), seeds=2)
+        row = result[6]
+        assert row["rounds_p40"].mean >= row["rounds_p100"].mean
+        assert "activation" in format_asynchrony(result)
+
+    def test_measure_one_stretch_columns(self):
+        row = measure_one(6, seed=5)
+        assert row["stretch_p40"] >= 1.0 or row["rounds_p100"] <= 2
+
+
+class TestUsability:
+    def test_profile_shape(self):
+        profile = run_usability(n=12, seed=7, samples=20)
+        assert profile.series[-1] == 1.0  # stable overlay fully routable
+        assert profile.first_full_routability() <= profile.rounds_to_stable
+        assert len(profile.series) == profile.rounds_to_stable + 2
+
+    def test_routable_before_stable(self):
+        """The practical payoff of 'almost stable': lookups work before
+        the configuration fixpoint."""
+        profile = run_usability(n=20, seed=8, samples=25)
+        assert profile.first_full_routability() < profile.rounds_to_stable
+
+    def test_format(self):
+        profile = run_usability(n=10, seed=9, samples=10)
+        out = format_usability(profile)
+        assert "Routability" in out and "stable" in out

@@ -1,0 +1,64 @@
+"""Additional local-checker cases: every invariant class trips.
+
+Complements tests/test_stability.py by exercising each violation label
+of `repro.core.checker.local_check_peer` individually.
+"""
+
+from __future__ import annotations
+
+from repro.core.checker import local_check_peer
+from repro.core.noderef import NodeRef
+from tests.conftest import stabilized
+
+
+def some_interior_peer(net):
+    """A peer that is not the global extreme holder (mid-ring)."""
+    return net.peers[net.peer_ids[len(net.peer_ids) // 2]]
+
+
+class TestCheckerViolationClasses:
+    def test_level_violation(self):
+        net = stabilized(10, seed=400)
+        peer = some_interior_peer(net)
+        peer.state.ensure_level(peer.state.max_level() + 1)
+        assert any("levels" in p for p in local_check_peer(peer))
+
+    def test_stale_rl_cache(self):
+        net = stabilized(10, seed=401)
+        peer = some_interior_peer(net)
+        node = peer.state.nodes[0]
+        node.rl = None  # cache no longer matches knowledge
+        problems = local_check_peer(peer)
+        assert any("rl cache" in p for p in problems)
+
+    def test_missing_neighbor_detected(self):
+        net = stabilized(10, seed=402)
+        peer = some_interior_peer(net)
+        node = peer.state.nodes[0]
+        # removing the closest-left edge breaks invariant 3 (for this
+        # check, the knowledge still names the neighbor via siblings)
+        lefts = sorted((w for w in node.nu if w < node.ref), key=lambda r: r.key)
+        if lefts:
+            closest = lefts[-1]
+            if any(
+                closest in other.nu
+                for lvl, other in peer.state.nodes.items()
+                if other is not node
+            ) or closest in {n.ref for n in peer.state.nodes.values()}:
+                node.nu.discard(closest)
+                problems = local_check_peer(peer)
+                assert problems
+
+    def test_sortedness_violation_via_far_edge(self):
+        net = stabilized(12, seed=403)
+        peer = some_interior_peer(net)
+        node = peer.state.nodes[0]
+        far = NodeRef.real(net.peer_ids[0])
+        if far != node.ref and far not in node.nu:
+            node.nu.add(far)
+            assert any("extra" in p for p in local_check_peer(peer))
+
+    def test_clean_peer_passes(self):
+        net = stabilized(10, seed=404)
+        for peer in net.peers.values():
+            assert local_check_peer(peer) == []

@@ -1,0 +1,56 @@
+"""CLI wiring (python -m repro / rechord console script)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_fig6_tiny(self, capsys):
+        code = main(["fig6", "--sizes", "4", "--seeds", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Fig. 6" in captured.out
+
+    def test_lookup_tiny(self, capsys):
+        code = main(["lookup", "--sizes", "6", "--seeds", "1"])
+        assert code == 0
+        assert "Fact 2.1" in capsys.readouterr().out
+
+    def test_messages(self, capsys):
+        code = main(["messages", "--n", "6"])
+        assert code == 0
+        assert "message complexity" in capsys.readouterr().out
+
+    def test_root_seed_changes_nothing_structural(self, capsys):
+        assert main(["--root-seed", "77", "fig6", "--sizes", "4", "--seeds", "1"]) == 0
+
+    def test_economy_tiny(self, capsys):
+        code = main(["economy", "--sizes", "6", "--seeds", "1"])
+        assert code == 0
+        assert "economical" in capsys.readouterr().out
+
+    def test_asynchrony_tiny(self, capsys):
+        code = main(["asynchrony", "--sizes", "5", "--seeds", "1"])
+        assert code == 0
+        assert "activation" in capsys.readouterr().out
+
+    def test_usability_tiny(self, capsys):
+        code = main(["usability", "--n", "8"])
+        assert code == 0
+        assert "Routability" in capsys.readouterr().out
+
+    def test_phases_tiny(self, capsys):
+        code = main(["phases", "--sizes", "5", "--seeds", "1"])
+        assert code == 0
+        assert "Lemmas" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

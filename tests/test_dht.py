@@ -1,0 +1,189 @@
+"""DHT layer: routing over the stable overlay, replicated storage."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.chord.routing import RoutingError, route_greedy
+from repro.core.ideal import chord_successor
+from repro.dht.lookup import ReChordRouter
+from repro.dht.storage import KeyNotFound, KeyValueStore
+from repro.idspace.keys import key_id
+from tests.conftest import stabilized
+
+
+@pytest.fixture(scope="module")
+def net20():
+    return stabilized(20, seed=100)
+
+
+@pytest.fixture()
+def router(net20):
+    return ReChordRouter(net20)
+
+
+class TestRouter:
+    def test_routes_reach_responsible_peer(self, router, net20):
+        rng = random.Random(0)
+        for _ in range(25):
+            start = rng.choice(net20.peer_ids)
+            key = rng.randrange(net20.space.size)
+            res = router.route_id(start, key)
+            assert res.owner == chord_successor(net20.space, net20.peer_ids, key)
+            assert res.path[0] == start and res.path[-1] == res.owner
+
+    def test_hops_logarithmic(self, router, net20):
+        rng = random.Random(1)
+        hops = [
+            router.route_id(rng.choice(net20.peer_ids), rng.randrange(net20.space.size)).hops
+            for _ in range(40)
+        ]
+        bound = 3 * math.log2(len(net20.peer_ids)) + 3
+        assert max(hops) <= bound
+
+    def test_path_makes_clockwise_progress(self, router, net20):
+        rng = random.Random(2)
+        space = net20.space
+        for _ in range(10):
+            start = rng.choice(net20.peer_ids)
+            key = rng.randrange(space.size)
+            res = router.route_id(start, key)
+            distances = [space.distance_cw(p, key) for p in res.path]
+            # every hop strictly decreases the clockwise distance, except
+            # the terminal hop onto the owner (the successor *of* the key,
+            # which sits just past it)
+            for a, b in zip(distances[:-1], distances[1:-1]):
+                assert b < a
+
+    def test_route_key_by_name(self, router, net20):
+        res = router.route_key(net20.peer_ids[0], "hello-world")
+        kid = key_id("hello-world", net20.space)
+        assert res.owner == chord_successor(net20.space, net20.peer_ids, kid)
+
+    def test_owner_of(self, router, net20):
+        owner = router.owner_of("abc")
+        assert owner in net20.peer_ids
+
+    def test_neighbors_are_chord_view(self, router, net20):
+        """Each peer's view must contain its ring successor."""
+        ids = sorted(net20.peer_ids)
+        for i, u in enumerate(ids):
+            succ = ids[(i + 1) % len(ids)]
+            assert succ in router.neighbors(u)
+
+
+class TestRouteGreedyEdgeCases:
+    def test_zero_hops_when_start_owns(self, net20):
+        space = net20.space
+        start = net20.peer_ids[0]
+        res = route_greedy(space, net20.peer_ids, lambda u: set(), start, start)
+        assert res.owner == start and res.hops == 0
+
+    def test_dead_end_raises(self, net20):
+        space = net20.space
+        start = net20.peer_ids[0]
+        other = net20.peer_ids[1]
+        key = (other + 1) % space.size
+        owner = chord_successor(space, net20.peer_ids, key)
+        if owner == start:
+            key = (start + 1) % space.size
+        with pytest.raises(RoutingError):
+            route_greedy(space, net20.peer_ids, lambda u: set(), start, key)
+
+
+class TestKeyValueStore:
+    def test_put_get_round_trip(self, router, net20):
+        store = KeyValueStore(router)
+        rng = random.Random(3)
+        for i in range(40):
+            store.put(f"k{i}", i, via=rng.choice(net20.peer_ids))
+        for i in range(40):
+            assert store.get(f"k{i}", via=rng.choice(net20.peer_ids)) == i
+
+    def test_get_missing_raises(self, router):
+        store = KeyValueStore(router)
+        with pytest.raises(KeyNotFound):
+            store.get("never-stored")
+
+    def test_delete(self, router):
+        store = KeyValueStore(router)
+        store.put("x", 1)
+        assert store.delete("x")
+        assert not store.delete("x")
+        with pytest.raises(KeyNotFound):
+            store.get("x")
+
+    def test_replication_factor_bounds(self, router):
+        with pytest.raises(ValueError):
+            KeyValueStore(router, replication=0)
+
+    def test_replicas_on_distinct_ring_successors(self, router, net20):
+        store = KeyValueStore(router, replication=3)
+        store.put("replicated", 42)
+        kid = key_id("replicated", net20.space)
+        replicas = store.replica_peers(kid)
+        assert len(set(replicas)) == 3
+        for pid in replicas:
+            assert kid in store.keys_at(pid)
+
+    def test_placements_count(self, router):
+        store = KeyValueStore(router, replication=2)
+        for i in range(10):
+            store.put(f"p{i}", i)
+        assert store.total_placements() == 20
+
+    def test_stats_recorded(self, router, net20):
+        store = KeyValueStore(router)
+        store.put("a", 1, via=net20.peer_ids[0])
+        store.get("a", via=net20.peer_ids[-1])
+        assert store.stats.puts == 1 and store.stats.gets == 1
+        assert len(store.stats.hop_samples) == 2
+
+    def test_load_per_peer_sums_to_placements(self, router):
+        store = KeyValueStore(router, replication=2)
+        for i in range(15):
+            store.put(f"q{i}", i)
+        assert sum(store.load_per_peer().values()) == store.total_placements()
+
+
+class TestChurnSurvival:
+    def test_data_survives_crash_with_replication(self):
+        net = stabilized(12, seed=101)
+        router = ReChordRouter(net)
+        store = KeyValueStore(router, replication=3)
+        keys = [f"key-{i}" for i in range(30)]
+        for i, k in enumerate(keys):
+            store.put(k, i)
+        # crash one replica holder of some key
+        victim_kid = key_id(keys[0], net.space)
+        victim = store.replica_peers(victim_kid)[0]
+        net.crash(victim)
+        net.run_until_stable(max_rounds=5000)
+        store.drop_peer(victim)
+        store.rebalance()
+        for i, k in enumerate(keys):
+            assert store.get(k, via=net.peer_ids[0]) == i
+
+    def test_rebalance_after_join_moves_keys(self):
+        net = stabilized(8, seed=102)
+        router = ReChordRouter(net)
+        store = KeyValueStore(router, replication=1)
+        for i in range(50):
+            store.put(f"k{i}", i)
+        rng = random.Random(5)
+        from repro.workloads.initial import random_peer_ids
+
+        new_id = random_peer_ids(1, rng, net.space)[0]
+        while new_id in net.peers:
+            new_id = random_peer_ids(1, rng, net.space)[0]
+        net.join(new_id, net.peer_ids[0])
+        net.run_until_stable(max_rounds=5000)
+        store.rebalance()
+        # every key readable and placed at its current responsible peer
+        for i in range(50):
+            assert store.get(f"k{i}") == i
+        for kid in list(store.keys_at(new_id)):
+            assert chord_successor(net.space, net.peer_ids, kid) == new_id

@@ -1,0 +1,61 @@
+"""Message payloads: canonical forms used by the fingerprint."""
+
+from __future__ import annotations
+
+from repro.core.events import (
+    EdgeAdd,
+    KIND_CONNECTION,
+    KIND_RING,
+    KIND_UNMARKED,
+    NeighborIntro,
+    RealCandidate,
+    SIDE_LEFT,
+    SIDE_RIGHT,
+)
+from repro.core.noderef import NodeRef
+
+
+A, B = NodeRef.real(10), NodeRef.real(20)
+
+
+class TestCanonical:
+    def test_edge_add_identity(self):
+        x = EdgeAdd(A, B, KIND_UNMARKED)
+        y = EdgeAdd(A, B, KIND_UNMARKED)
+        assert x == y and x.canonical() == y.canonical()
+
+    def test_kind_distinguishes(self):
+        assert (
+            EdgeAdd(A, B, KIND_UNMARKED).canonical()
+            != EdgeAdd(A, B, KIND_RING).canonical()
+            != EdgeAdd(A, B, KIND_CONNECTION).canonical()
+        )
+
+    def test_direction_distinguishes(self):
+        assert EdgeAdd(A, B, KIND_UNMARKED).canonical() != EdgeAdd(B, A, KIND_UNMARKED).canonical()
+
+    def test_candidate_fields_distinguish(self):
+        base = RealCandidate(A, B, SIDE_LEFT)
+        assert base.canonical() != RealCandidate(A, B, SIDE_RIGHT).canonical()
+        assert base.canonical() != RealCandidate(A, B, SIDE_LEFT, wrap=True).canonical()
+
+    def test_intro_vs_edge_add_distinct(self):
+        assert NeighborIntro(A, B).canonical() != EdgeAdd(A, B, KIND_UNMARKED).canonical()
+
+    def test_canonicals_are_sortable_mixture(self):
+        payloads = [
+            EdgeAdd(A, B, KIND_UNMARKED),
+            RealCandidate(A, B, SIDE_LEFT),
+            NeighborIntro(B, A),
+            EdgeAdd(B, A, KIND_RING),
+            RealCandidate(B, A, SIDE_RIGHT, wrap=True),
+        ]
+        ordered = sorted(p.canonical() for p in payloads)
+        assert len(ordered) == 5
+
+    def test_frozen(self):
+        import pytest
+
+        payload = EdgeAdd(A, B, KIND_UNMARKED)
+        with pytest.raises(Exception):
+            payload.target = B  # type: ignore[misc]

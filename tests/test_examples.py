@@ -1,0 +1,42 @@
+"""The shipped examples must actually run (docs-stay-honest tests)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Fact 2.1" in out and "ideal topology: reached exactly" in out
+
+    def test_dht_keyvalue(self):
+        out = run_example("dht_keyvalue.py")
+        assert "100/100" in out and "durability" in out
+
+    @pytest.mark.slow
+    def test_churn_recovery(self):
+        out = run_example("churn_recovery.py")
+        assert "all invariants hold" in out
+
+    @pytest.mark.slow
+    def test_adversarial_start(self):
+        out = run_example("adversarial_start.py")
+        assert "ring_correct=False" in out  # the classic-Chord contrast

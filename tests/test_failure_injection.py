@@ -1,0 +1,120 @@
+"""Failure injection during convergence.
+
+Section 4 analyzes churn against *stable* networks; self-stabilization
+(Theorem 1.1) promises more: whatever state churn leaves behind — as
+long as the survivors stay weakly connected — the network still
+converges.  These tests inject crashes, leaves and joins into networks
+that are still mid-stabilization.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.connectivity import is_weakly_connected, weakly_connected_components
+from repro.workloads.initial import build_random_network, random_peer_ids
+
+
+def survivors_connected(net) -> bool:
+    graph = net.snapshot()
+    live_refs = [
+        node.ref for p in net.peers.values() for node in p.state.nodes.values()
+    ]
+    comps = weakly_connected_components(graph)
+    # only count components containing live simulated nodes
+    live = set(live_refs)
+    relevant = [c for c in comps if c & live]
+    return len(relevant) == 1
+
+
+class TestCrashMidConvergence:
+    @pytest.mark.parametrize("when", [1, 3, 6])
+    def test_crash_during_stabilization(self, when):
+        net = build_random_network(n=14, seed=50)
+        net.run(when)
+        # crash a random non-cut peer: try candidates until the
+        # survivors remain weakly connected (the theorem's precondition)
+        rng = random.Random(when)
+        for candidate in rng.sample(net.peer_ids, len(net.peer_ids)):
+            saved = net.peers[candidate]
+            net.crash(candidate)
+            net.run_round()  # let purging happen
+            if survivors_connected(net):
+                break
+            # restore not possible: crash is destructive; but with the
+            # dense random start every single crash keeps connectivity
+            # in practice — assert instead of restoring
+            pytest.fail("crash disconnected the overlay (unexpected for this workload)")
+        net.run_until_stable(max_rounds=5000)
+        assert net.matches_ideal()
+
+    def test_two_crashes_back_to_back(self):
+        net = build_random_network(n=16, seed=51, extra_edge_prob=0.3)
+        net.run(2)
+        net.crash(net.peer_ids[3])
+        net.run(1)
+        net.crash(net.peer_ids[7])
+        net.run_round()
+        if survivors_connected(net):
+            net.run_until_stable(max_rounds=5000)
+            assert net.matches_ideal()
+
+
+class TestJoinMidConvergence:
+    @pytest.mark.parametrize("when", [0, 2, 5])
+    def test_join_during_stabilization(self, when):
+        net = build_random_network(n=12, seed=52)
+        net.run(when)
+        rng = random.Random(when)
+        new_id = random_peer_ids(1, rng, net.space)[0]
+        while new_id in net.peers:
+            new_id = random_peer_ids(1, rng, net.space)[0]
+        net.join(new_id, rng.choice(net.peer_ids))
+        net.run_until_stable(max_rounds=5000)
+        assert new_id in net.peers
+        assert net.matches_ideal()
+
+    def test_join_burst_mid_convergence(self):
+        net = build_random_network(n=10, seed=53)
+        net.run(3)
+        rng = random.Random(53)
+        for _ in range(4):
+            new_id = random_peer_ids(1, rng, net.space)[0]
+            while new_id in net.peers:
+                new_id = random_peer_ids(1, rng, net.space)[0]
+            net.join(new_id, rng.choice(net.peer_ids))
+        net.run_until_stable(max_rounds=5000)
+        assert len(net.peers) == 14
+        assert net.matches_ideal()
+
+
+class TestLeaveMidConvergence:
+    def test_graceful_leave_during_stabilization(self):
+        net = build_random_network(n=14, seed=54)
+        net.run(4)
+        net.leave(net.peer_ids[6])
+        net.run_until_stable(max_rounds=5000)
+        assert net.matches_ideal()
+
+    def test_mixed_storm(self):
+        """Crash + leave + two joins within five rounds of a cold start."""
+        net = build_random_network(n=14, seed=55, extra_edge_prob=0.3)
+        rng = random.Random(55)
+        net.run(1)
+        net.leave(net.peer_ids[2])
+        net.run(1)
+        net.crash(net.peer_ids[9])
+        net.run(1)
+        for _ in range(2):
+            new_id = random_peer_ids(1, rng, net.space)[0]
+            while new_id in net.peers:
+                new_id = random_peer_ids(1, rng, net.space)[0]
+            net.join(new_id, rng.choice(net.peer_ids))
+            net.run(1)
+        net.run_round()
+        if survivors_connected(net):
+            net.run_until_stable(max_rounds=5000)
+            assert net.matches_ideal()
+            assert is_weakly_connected(net.snapshot())

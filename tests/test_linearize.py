@@ -1,0 +1,125 @@
+"""Linearization baseline: convergence to the sorted doubly linked list."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.generators import gnp_connected_graph, line_graph, random_orientation, star_graph
+from repro.idspace.ring import IdSpace
+from repro.linearize.protocol import LinearizeNetwork
+from repro.workloads.initial import random_peer_ids
+
+SPACE = IdSpace(16)
+
+
+def wire(net: LinearizeNetwork, ids, undirected, rng) -> None:
+    ordered = sorted(ids)
+    for u in ordered:
+        net.add_peer(u)
+    for a, b in random_orientation(undirected, rng):
+        net.add_initial_edge(ordered[a], ordered[b])
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (5, 1), (12, 2), (25, 3)])
+    def test_random_graph_sorts(self, n, seed):
+        rng = random.Random(seed)
+        ids = random_peer_ids(n, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, gnp_connected_graph(n, 0.2, rng), rng)
+        net.run_until_stable(max_rounds=5000)
+        assert net.is_sorted_list(), net.sorted_list_errors()[:3]
+
+    def test_line_start(self):
+        rng = random.Random(4)
+        ids = random_peer_ids(10, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, line_graph(10), rng)
+        net.run_until_stable(max_rounds=5000)
+        assert net.is_sorted_list()
+
+    def test_star_start(self):
+        rng = random.Random(5)
+        ids = random_peer_ids(10, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, star_graph(10), rng)
+        net.run_until_stable(max_rounds=5000)
+        assert net.is_sorted_list()
+
+    def test_singleton(self):
+        net = LinearizeNetwork(SPACE)
+        net.add_peer(7)
+        assert net.run_until_stable(max_rounds=10) == 0
+        assert net.is_sorted_list()
+
+    def test_stable_is_fixed_point(self):
+        rng = random.Random(6)
+        ids = random_peer_ids(8, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, gnp_connected_graph(8, 0.3, rng), rng)
+        net.run_until_stable(max_rounds=5000)
+        fp = net.fingerprint()
+        net.run_round()
+        assert net.fingerprint() == fp
+
+    def test_crash_splits_converged_list(self):
+        """Plain linearization is *not* churn-tolerant: once converged,
+        an interior node's neighbors know nothing beyond it, so its
+        crash splits the list permanently.  (Re-Chord repairs the same
+        event via real pointers and ring/connection edges — see
+        tests/test_join_leave.py.)"""
+        rng = random.Random(7)
+        ids = random_peer_ids(8, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, gnp_connected_graph(8, 0.5, rng), rng)
+        net.run_until_stable(max_rounds=5000)
+        victim = net.peer_ids[3]
+        net.peers.pop(victim)
+        net.scheduler.remove_actor(victim)
+        net.run_until_stable(max_rounds=5000)
+        assert not net.is_sorted_list()
+        # ... but each fragment is internally sorted: every node's
+        # neighbors are a subset of its true sorted-list neighbors
+        remaining = net.peer_ids
+        for i, u in enumerate(remaining):
+            want = set()
+            if i > 0:
+                want.add(remaining[i - 1])
+            if i + 1 < len(remaining):
+                want.add(remaining[i + 1])
+            assert net.peers[u].neighbors <= want
+
+    @given(st.integers(2, 9), st.integers(0, 500))
+    def test_property_random_graphs_sort(self, n, seed):
+        rng = random.Random(seed)
+        ids = random_peer_ids(n, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, gnp_connected_graph(n, 0.2, rng), rng)
+        net.run_until_stable(max_rounds=3000)
+        assert net.is_sorted_list()
+
+
+class TestApi:
+    def test_duplicate_peer_rejected(self):
+        net = LinearizeNetwork(SPACE)
+        net.add_peer(1)
+        with pytest.raises(ValueError):
+            net.add_peer(1)
+
+    def test_self_edge_ignored(self):
+        net = LinearizeNetwork(SPACE)
+        net.add_peer(1)
+        net.add_initial_edge(1, 1)
+        assert net.peers[1].neighbors == set()
+
+    def test_unstable_raises_on_budget(self):
+        rng = random.Random(8)
+        ids = random_peer_ids(20, rng, SPACE)
+        net = LinearizeNetwork(SPACE)
+        wire(net, ids, line_graph(20), rng)
+        with pytest.raises(RuntimeError):
+            net.run_until_stable(max_rounds=1)

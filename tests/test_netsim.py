@@ -1,0 +1,181 @@
+"""Synchronous kernel: delivery semantics, tracing, seed streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.messages import Envelope
+from repro.netsim.rng import SeedSequence
+from repro.netsim.scheduler import SynchronousScheduler
+from repro.netsim.trace import TraceRecorder
+
+
+class Echo:
+    """Test actor: records inboxes; forwards payloads per a plan."""
+
+    def __init__(self, plan=None):
+        self.plan = plan or (lambda inbox, ctx: None)
+        self.inboxes = []
+
+    def step(self, inbox, ctx):
+        self.inboxes.append([e.payload for e in inbox])
+        self.plan(inbox, ctx)
+
+
+class TestScheduler:
+    def test_message_delivered_next_round(self):
+        sched = SynchronousScheduler()
+        a = Echo(lambda inbox, ctx: ctx.send("b", "hi") if ctx.round_no == 0 else None)
+        b = Echo()
+        sched.add_actor("a", a)
+        sched.add_actor("b", b)
+        sched.run_round()
+        assert b.inboxes == [[]]  # not visible in the sending round
+        sched.run_round()
+        assert b.inboxes[1] == ["hi"]
+
+    def test_same_round_send_not_visible(self):
+        """Even if the sender steps before the receiver, delivery waits."""
+        sched = SynchronousScheduler()
+        a = Echo(lambda inbox, ctx: ctx.send("z", "x"))
+        z = Echo()
+        sched.add_actor("a", a)  # "a" sorts before "z"
+        sched.add_actor("z", z)
+        sched.run_round()
+        assert z.inboxes == [[]]
+
+    def test_messages_to_unknown_actor_dropped(self):
+        sched = SynchronousScheduler()
+        sched.add_actor("a", Echo(lambda i, c: c.send("ghost", 1)))
+        sched.run_round()
+        assert sched.dropped_last_round == 1
+
+    def test_removed_actor_loses_pending(self):
+        sched = SynchronousScheduler()
+        b = Echo()
+        sched.add_actor("a", Echo(lambda i, c: c.send("b", 1)))
+        sched.add_actor("b", b)
+        sched.run_round()
+        sched.remove_actor("b")
+        sched.add_actor("b", b)
+        sched.run_round()
+        assert b.inboxes[-1] == []
+
+    def test_duplicate_actor_rejected(self):
+        sched = SynchronousScheduler()
+        sched.add_actor("a", Echo())
+        with pytest.raises(KeyError):
+            sched.add_actor("a", Echo())
+
+    def test_actor_exists_oracle(self):
+        sched = SynchronousScheduler()
+        seen = []
+        sched.add_actor("a", Echo(lambda i, c: seen.append((c.actor_exists("a"), c.actor_exists("x")))))
+        sched.run_round()
+        assert seen == [(True, False)]
+
+    def test_run_until_counts_rounds(self):
+        sched = SynchronousScheduler()
+        counter = {"n": 0}
+
+        def plan(inbox, ctx):
+            counter["n"] += 1
+
+        sched.add_actor("a", Echo(plan))
+        rounds = sched.run_until(lambda: counter["n"] >= 3, max_rounds=10)
+        assert rounds == 3
+
+    def test_run_until_raises_on_budget(self):
+        sched = SynchronousScheduler()
+        sched.add_actor("a", Echo())
+        with pytest.raises(RuntimeError):
+            sched.run_until(lambda: False, max_rounds=2)
+
+    def test_run_until_zero_if_already_true(self):
+        sched = SynchronousScheduler()
+        assert sched.run_until(lambda: True, max_rounds=1) == 0
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousScheduler().run(-1)
+
+    def test_post_injects_for_next_round(self):
+        sched = SynchronousScheduler()
+        b = Echo()
+        sched.add_actor("b", b)
+        assert sched.post(Envelope("ext", "b", "ping"))
+        sched.run_round()
+        assert b.inboxes == [["ping"]]
+
+    def test_post_to_missing_actor(self):
+        sched = SynchronousScheduler()
+        assert not sched.post(Envelope("ext", "nope", 1))
+
+    def test_all_pending_snapshot(self):
+        sched = SynchronousScheduler()
+        sched.add_actor("a", Echo(lambda i, c: c.send("b", 1)))
+        sched.add_actor("b", Echo())
+        sched.run_round()
+        pending = sched.all_pending()
+        assert len(pending) == 1 and pending[0].payload == 1
+
+    def test_round_counter(self):
+        sched = SynchronousScheduler()
+        sched.add_actor("a", Echo())
+        sched.run(5)
+        assert sched.round_no == 5
+
+    def test_actor_keys_sorted(self):
+        sched = SynchronousScheduler()
+        for k in (3, 1, 2):
+            sched.add_actor(k, Echo())
+        assert sched.actor_keys() == [1, 2, 3]
+
+
+class TestTrace:
+    def test_records_per_round(self):
+        trace = TraceRecorder()
+        sched = SynchronousScheduler(trace)
+        sched.add_actor("a", Echo(lambda i, c: c.send("a", "x")))
+        sched.run(3)
+        assert len(trace) == 3
+        assert trace.messages_series() == [1, 1, 1]
+        assert trace.total_messages() == 3
+        assert trace.peak_round_messages() == 1
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record_round(0, 1, 2, 0)
+        trace.clear()
+        assert len(trace) == 0 and trace.peak_round_messages() == 0
+
+    def test_rounds_copy(self):
+        trace = TraceRecorder()
+        trace.record_round(0, 1, 2, 3)
+        rounds = trace.rounds()
+        assert rounds[0].sent == 2 and rounds[0].dropped == 3
+
+
+class TestSeedSequence:
+    def test_deterministic(self):
+        assert SeedSequence(1).child("x", n=2).seed() == SeedSequence(1).child("x", n=2).seed()
+
+    def test_children_differ(self):
+        root = SeedSequence(1)
+        assert root.child("a").seed() != root.child("b").seed()
+
+    def test_kwargs_order_irrelevant(self):
+        root = SeedSequence(9)
+        assert root.child(a=1, b=2).seed() == root.child(b=2, a=1).seed()
+
+    def test_root_matters(self):
+        assert SeedSequence(1).child("x").seed() != SeedSequence(2).child("x").seed()
+
+    def test_spawn_count(self):
+        kids = list(SeedSequence(5).spawn(4))
+        assert len({k.seed() for k in kids}) == 4
+
+    def test_rng_streams_independent(self):
+        r1 = SeedSequence(3).child("a").rng()
+        r2 = SeedSequence(3).child("b").rng()
+        assert [r1.random() for _ in range(3)] != [r2.random() for _ in range(3)]

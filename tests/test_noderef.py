@@ -1,0 +1,101 @@
+"""NodeRef identity, ordering and factory invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.noderef import NodeRef, make_ref
+from repro.idspace.ring import IdSpace
+
+SPACE = IdSpace(16)
+
+
+class TestIdentity:
+    def test_equality_by_owner_level(self):
+        assert make_ref(SPACE, 100, 2) == make_ref(SPACE, 100, 2)
+
+    def test_inequality_different_level(self):
+        assert make_ref(SPACE, 100, 1) != make_ref(SPACE, 100, 2)
+
+    def test_inequality_different_owner(self):
+        assert make_ref(SPACE, 100, 0) != make_ref(SPACE, 101, 0)
+
+    def test_hash_consistency(self):
+        a, b = make_ref(SPACE, 7, 3), make_ref(SPACE, 7, 3)
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_real_constructor(self):
+        r = NodeRef.real(42)
+        assert r.id == 42 and r.owner == 42 and r.level == 0 and r.is_real
+
+    def test_immutability(self):
+        r = NodeRef.real(1)
+        with pytest.raises(AttributeError):
+            r.id = 2
+
+    def test_repr_mentions_kind(self):
+        assert "R" in repr(NodeRef.real(3))
+        assert "V2" in repr(make_ref(SPACE, 3, 2))
+
+
+class TestFactory:
+    def test_derives_id(self):
+        ref = make_ref(SPACE, 1000, 1)
+        assert ref.id == SPACE.virtual_id(1000, 1)
+
+    def test_level_zero(self):
+        assert make_ref(SPACE, 1000, 0).id == 1000
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            make_ref(SPACE, 0, -1)
+
+    def test_rejects_excessive_level(self):
+        with pytest.raises(ValueError):
+            make_ref(SPACE, 0, SPACE.bits + 1)
+
+
+class TestOrdering:
+    def test_orders_by_id(self):
+        assert NodeRef.real(5) < NodeRef.real(9)
+
+    def test_real_before_virtual_at_equal_id(self):
+        """Tie-break [D2]: a real node sorts before a virtual node with
+        the same identifier, so 'closest' is always unique."""
+        virt = NodeRef(500, 400, 3)  # virtual node whose id collides
+        real = NodeRef.real(500)
+        assert real < virt
+
+    def test_total_order_on_collisions(self):
+        a = NodeRef(500, 100, 2)
+        b = NodeRef(500, 200, 2)
+        assert (a < b) != (b < a)
+
+    def test_comparison_operators(self):
+        a, b = NodeRef.real(1), NodeRef.real(2)
+        assert a < b and a <= b and b > a and b >= a
+
+    @given(
+        ids=st.lists(
+            st.tuples(
+                st.integers(0, SPACE.size - 1),
+                st.integers(0, SPACE.size - 1),
+                st.integers(0, SPACE.bits),
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_sorting_is_stable_total_order(self, ids):
+        refs = [NodeRef(i, o, l) for i, o, l in ids]
+        ordered = sorted(refs)
+        for x, y in zip(ordered, ordered[1:]):
+            assert x.key <= y.key
+
+    def test_key_shape(self):
+        r = make_ref(SPACE, 9, 1)
+        assert r.key == (r.id, 1, 9, 1)
+        assert NodeRef.real(9).key == (9, 0, 9, 0)

@@ -1,0 +1,143 @@
+"""PeerState: sibling management, knowledge queries, message resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.noderef import NodeRef, make_ref
+from repro.core.state import PeerState
+from repro.idspace.ring import IdSpace
+
+SPACE = IdSpace(16)
+
+
+def peer(pid=1000) -> PeerState:
+    return PeerState(pid, SPACE)
+
+
+class TestLevels:
+    def test_starts_with_real_node(self):
+        st = peer()
+        assert st.levels() == [0]
+        assert st.real_ref == NodeRef.real(1000)
+
+    def test_ensure_level_idempotent(self):
+        st = peer()
+        a = st.ensure_level(2)
+        b = st.ensure_level(2)
+        assert a is b and st.levels() == [0, 2]
+
+    def test_drop_level(self):
+        st = peer()
+        st.ensure_level(1)
+        node = st.drop_level(1)
+        assert node.ref.level == 1 and st.levels() == [0]
+
+    def test_drop_level_zero_forbidden(self):
+        with pytest.raises(ValueError):
+            peer().drop_level(0)
+
+    def test_max_level(self):
+        st = peer()
+        st.ensure_level(3)
+        st.ensure_level(1)
+        assert st.max_level() == 3
+
+    def test_sibling_refs_sorted_linearly(self):
+        st = peer(60000)  # near the top: some virtual ids wrap below
+        st.ensure_level(1)
+        st.ensure_level(2)
+        refs = st.sibling_refs()
+        assert [r.key for r in refs] == sorted(r.key for r in refs)
+
+    def test_rejects_invalid_peer_id(self):
+        with pytest.raises(ValueError):
+            PeerState(SPACE.size, SPACE)
+
+
+class TestResolve:
+    def test_exact_level(self):
+        st = peer()
+        st.ensure_level(2)
+        assert st.resolve(make_ref(SPACE, 1000, 2)).ref.level == 2
+
+    def test_phantom_redirects_to_um(self):
+        """[D8]: messages for deleted virtual nodes land on u_m."""
+        st = peer()
+        st.ensure_level(1)
+        st.ensure_level(4)
+        assert st.resolve(make_ref(SPACE, 1000, 9)).ref.level == 4
+
+    def test_foreign_ref_is_none(self):
+        assert peer().resolve(NodeRef.real(4)) is None
+
+
+class TestKnowledge:
+    def test_contains_siblings(self):
+        st = peer()
+        st.ensure_level(1)
+        assert make_ref(SPACE, 1000, 1) in st.knowledge()
+
+    def test_includes_all_edge_kinds_and_wraps(self):
+        st = peer()
+        node = st.nodes[0]
+        a, b, c, d = (NodeRef.real(i) for i in (1, 2, 3, 5))
+        node.nu.add(a)
+        node.nr.add(b)
+        node.nc.add(c)
+        node.wrap_rl = d
+        k = st.knowledge()
+        assert {a, b, c, d} <= k
+
+    def test_known_reals_filters_and_sorts(self):
+        st = peer()
+        node = st.nodes[0]
+        node.nu.add(NodeRef.real(9))
+        node.nu.add(make_ref(SPACE, 9, 1))  # virtual: excluded
+        node.nu.add(NodeRef.real(3))
+        reals = st.known_reals()
+        assert [r.id for r in reals] == [3, 9, 1000]
+
+    def test_gap_no_other_reals(self):
+        assert peer().closest_real_gap() == SPACE.size
+
+    def test_gap_uses_clockwise_distance(self):
+        st = peer(100)
+        st.nodes[0].nu.add(NodeRef.real(50))  # behind us: distance wraps
+        st.nodes[0].nu.add(NodeRef.real(300))
+        assert st.closest_real_gap() == 200
+
+    def test_gap_ignores_self(self):
+        st = peer(100)
+        st.nodes[0].nu.add(NodeRef.real(100))
+        assert st.closest_real_gap() == SPACE.size
+
+
+class TestCanonical:
+    def test_canonical_changes_with_state(self):
+        st = peer()
+        before = st.canonical()
+        st.nodes[0].nu.add(NodeRef.real(5))
+        assert st.canonical() != before
+
+    def test_canonical_set_order_independent(self):
+        a, b = peer(), peer()
+        a.nodes[0].nu.update({NodeRef.real(1), NodeRef.real(2)})
+        b.nodes[0].nu.update({NodeRef.real(2), NodeRef.real(1)})
+        assert a.canonical() == b.canonical()
+
+    def test_edge_count(self):
+        st = peer()
+        node = st.nodes[0]
+        node.nu.add(NodeRef.real(1))
+        node.nr.add(NodeRef.real(2))
+        node.nc.add(NodeRef.real(3))
+        node.wrap_rr = NodeRef.real(4)
+        assert st.edge_count() == 4
+
+    def test_node_all_out_refs(self):
+        st = peer()
+        node = st.nodes[0]
+        node.nu.add(NodeRef.real(1))
+        node.wrap_rl = NodeRef.real(2)
+        assert node.all_out_refs() == {NodeRef.real(1), NodeRef.real(2)}
