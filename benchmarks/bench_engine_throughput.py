@@ -5,24 +5,52 @@ that future changes to the rule pipeline or the fingerprinting stay
 honest.  Timed units:
 
 * one synchronous round on a stable 64-peer network (steady-state flow
-  is the hot path: candidate announcements + connection streams);
+  is the hot path — fully *replayed* by the incremental kernel, fully
+  executed by the legacy one: both are benchmarked);
 * one global fingerprint of the same network;
 * building a 64-peer random initial state.
+
+Comparison mode
+---------------
+
+``test_engine_comparison_table`` regenerates the old-vs-new kernel
+table: post-churn re-stabilization (a single join into an already
+stable network) timed through the legacy full-scan kernel and the
+incremental dirty-set kernel, reported as rounds/sec per size.  The
+default ladder is quick (n ∈ {64, 256}); set ``RECHORD_BENCH_FULL=1``
+to run the full ladder n ∈ {64, 256, 1024, 4096} (minutes — the legacy
+kernel is the slow part, which is rather the point).
 """
 
 from __future__ import annotations
 
+import os
+
+from conftest import emit
+
+from repro.experiments.scaling import (
+    ENGINE_SIZES_FULL,
+    ENGINE_SIZES_QUICK,
+    build_ideal_network,
+    format_engine_comparison,
+    run_engine_comparison,
+)
 from repro.workloads.initial import build_random_network
 
 
-def _stable_network(n: int = 64, seed: int = 2011):
-    net = build_random_network(n=n, seed=seed)
+def _stable_network(n: int = 64, seed: int = 2011, incremental: bool = True):
+    net = build_random_network(n=n, seed=seed, incremental=incremental)
     net.run_until_stable(max_rounds=20_000)
     return net
 
 
-def test_round_throughput(benchmark):
-    net = _stable_network()
+def test_round_throughput_incremental(benchmark):
+    net = _stable_network(incremental=True)
+    benchmark(net.run_round)
+
+
+def test_round_throughput_full_scan(benchmark):
+    net = _stable_network(incremental=False)
     benchmark(net.run_round)
 
 
@@ -31,7 +59,34 @@ def test_fingerprint_cost(benchmark):
     benchmark(net.fingerprint)
 
 
+def test_incremental_fingerprint_cost(benchmark):
+    net = _stable_network(incremental=True)
+    benchmark(net.incremental_fingerprint)
+
+
 def test_build_cost(benchmark):
     benchmark.pedantic(
         build_random_network, kwargs={"n": 64, "seed": 1}, rounds=5, iterations=1
     )
+
+
+def test_ideal_build_cost(benchmark):
+    """Direct stable-state construction (the large-N benchmark path)."""
+    benchmark.pedantic(
+        build_ideal_network, kwargs={"n": 64, "seed": 1}, rounds=3, iterations=1
+    )
+
+
+def test_engine_comparison_table(benchmark):
+    """Old full-scan kernel vs. new incremental kernel, rounds/sec."""
+    full = bool(os.environ.get("RECHORD_BENCH_FULL"))
+    sizes = ENGINE_SIZES_FULL if full else ENGINE_SIZES_QUICK
+    rows = run_engine_comparison(sizes=sizes)
+    emit("engine_comparison_full" if full else "engine_comparison", format_engine_comparison(rows))
+    for n, row in rows.items():
+        assert row.speedup > 1.0, f"incremental kernel slower at n={n}: {row}"
+    # the timed unit: one incremental-engine round on the largest stable
+    # network of the ladder (steady state, fully replayed)
+    largest = max(sizes)
+    net = build_ideal_network(largest, seed=2011, incremental=True)
+    benchmark(net.run_round)

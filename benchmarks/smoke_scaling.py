@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: post-churn engine throughput at n=256.
+
+Joins one peer into an already-stable 256-peer network (built directly
+in its stable topology, see ``repro.experiments.scaling``) and measures
+the incremental kernel's re-stabilization throughput in rounds/sec.
+Fails (exit 1) if throughput regresses more than ``allowed_regression``
+(default 3x) below the checked-in baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke_scaling.py            # gate
+    PYTHONPATH=src python benchmarks/smoke_scaling.py --update   # re-baseline
+
+The baseline lives in ``benchmarks/baseline_engine.json`` together with
+the machine-independent invariants: the re-stabilization round count is
+checked exactly, the executed-peer fraction within 1.5x (replay
+effectiveness), and rounds/sec within the regression factor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_engine.json"
+N = 256
+SEED = 2011
+
+
+def measure() -> dict:
+    from repro.experiments.scaling import _post_churn_restabilize, build_ideal_network
+    from repro.netsim.rng import SeedSequence
+    from repro.workloads.initial import random_peer_ids
+
+    seq = SeedSequence(SEED).child("smoke", n=N)
+    net = build_ideal_network(N, seq.child("build").seed(), incremental=True)
+    rng = seq.child("join").rng()
+    join_id = random_peer_ids(1, rng, net.space)[0]
+    while join_id in net.peers:
+        join_id = random_peer_ids(1, rng, net.space)[0]
+    gateway = rng.choice(net.peer_ids)
+    report, seconds, frac = _post_churn_restabilize(net, join_id, gateway, 2_000)
+    return {
+        "n": N,
+        "rounds": report.rounds_executed,
+        "rounds_per_sec": round(report.rounds_executed / seconds, 2),
+        "executed_fraction": round(frac, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true", help="rewrite the baseline JSON")
+    parser.add_argument(
+        "--allowed-regression",
+        type=float,
+        default=3.0,
+        help="maximum slowdown factor vs. the baseline rounds/sec (default 3x)",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure()
+    print("measured:", json.dumps(result))
+
+    if args.update or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    print("baseline:", json.dumps(baseline))
+
+    # machine-independent exact checks: the kernel must do the same work
+    if result["rounds"] != baseline["rounds"]:
+        print(
+            f"FAIL: re-stabilization took {result['rounds']} rounds, "
+            f"baseline says {baseline['rounds']} (kernel behavior changed)"
+        )
+        return 1
+    # replay effectiveness: a kernel regression that re-executes far more
+    # peers per round can hide behind fast CI hardware, so gate the
+    # deterministic executed fraction too (small headroom for wake-policy
+    # tweaks; a jump toward 1.0 means replay is broken)
+    if result["executed_fraction"] > baseline["executed_fraction"] * 1.5:
+        print(
+            f"FAIL: executed fraction {result['executed_fraction']} is more than "
+            f"1.5x baseline {baseline['executed_fraction']} (replay regressed)"
+        )
+        return 1
+    floor = baseline["rounds_per_sec"] / args.allowed_regression
+    if result["rounds_per_sec"] < floor:
+        print(
+            f"FAIL: {result['rounds_per_sec']} rounds/sec is more than "
+            f"{args.allowed_regression}x below baseline {baseline['rounds_per_sec']}"
+        )
+        return 1
+    print(
+        f"OK: {result['rounds_per_sec']} rounds/sec "
+        f"(floor {floor:.2f}, baseline {baseline['rounds_per_sec']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,10 @@ class EdgeAdd:
         """Sortable identity tuple for fingerprints."""
         return ("edge", self.kind, _ref_key(self.target), _ref_key(self.endpoint))
 
+    def refs(self) -> Tuple[NodeRef, ...]:
+        """Every node reference this message carries (liveness scans)."""
+        return (self.target, self.endpoint)
+
 
 @dataclass(frozen=True)
 class RealCandidate:
@@ -73,6 +77,10 @@ class RealCandidate:
         """Sortable identity tuple for fingerprints."""
         return ("cand", self.side, self.wrap, _ref_key(self.target), _ref_key(self.candidate))
 
+    def refs(self) -> Tuple[NodeRef, ...]:
+        """Every node reference this message carries (liveness scans)."""
+        return (self.target, self.candidate)
+
 
 @dataclass(frozen=True)
 class NeighborIntro:
@@ -88,6 +96,10 @@ class NeighborIntro:
     def canonical(self) -> tuple:
         """Sortable identity tuple for fingerprints."""
         return ("intro", _ref_key(self.target), _ref_key(self.endpoint))
+
+    def refs(self) -> Tuple[NodeRef, ...]:
+        """Every node reference this message carries (liveness scans)."""
+        return (self.target, self.endpoint)
 
 
 Payload = EdgeAdd | RealCandidate | NeighborIntro

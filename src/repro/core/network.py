@@ -10,12 +10,47 @@ the in-flight messages — repeats between consecutive round boundaries.
 The stable state is a constant flow (connection edges keep streaming,
 ring-edge requests keep re-issuing), so peer states alone would not be a
 sound criterion; the fingerprint therefore includes pending messages.
+
+Engines
+-------
+
+Two kernels drive the rounds:
+
+* ``incremental=True`` (default) — the **activity-tracked** kernel: the
+  scheduler only executes peers that can behave differently from their
+  last executed step (dirty set + steady-emission replay, see
+  :mod:`repro.netsim.scheduler`), and ``run_until_stable`` detects the
+  configuration fixpoint from the scheduler's O(active-work) change flag
+  and rolling hash instead of recomputing the full O(n) fingerprint
+  every round.  Post-churn re-stabilization then costs time proportional
+  to the *touched neighborhood* (paper Theorems 4.1/4.2), not to ``n``.
+* ``incremental=False`` — the legacy full-scan kernel: every peer steps
+  every round and stability compares complete fingerprints.  Kept as the
+  executable reference; the differential test suite asserts the two are
+  round-for-round equivalent (identical reports, fingerprints and rule
+  counters) on random topologies, corrupt starts and churn schedules.
+
+The network layer owns the two pieces of tracking the scheduler cannot
+see:
+
+* **out-of-band mutations** — tests and membership events mutate peer
+  state directly between rounds; every ``PeerState`` carries a version
+  counter bumped by all mutating operations, and ``run_round`` sweeps it
+  against the scheduler's last-noted versions to re-activate (and
+  re-baseline) silently edited peers;
+* **liveness-oracle dependencies** — a peer's purge step consults
+  ``_ref_alive`` about *other* peers, so a membership event or a remote
+  level-set change must re-activate exactly the peers holding references
+  to the changed owner.  A reverse index (``owner -> watchers``) is
+  maintained from each peer's ``referenced_owners()`` whenever its state
+  changes at a boundary.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.events import NeighborIntro
 from repro.core.ideal import IdealTopology, compute_ideal
@@ -54,13 +89,27 @@ class ReChordNetwork:
         space: Optional[IdSpace] = None,
         config: Optional[RuleConfig] = None,
         record_trace: bool = False,
+        incremental: bool = True,
     ) -> None:
         self.space = space if space is not None else IdSpace()
         self.config = config if config is not None else RuleConfig()
         self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
-        self.scheduler = SynchronousScheduler(self.trace)
+        self.incremental = incremental
+        self.scheduler = SynchronousScheduler(self.trace, activity_tracking=incremental)
         self.peers: Dict[int, ReChordPeer] = {}
         self._level_snapshot: Dict[int, frozenset] = {}
+        #: incremental engine: owner ids referenced by each peer ...
+        self._refs_out: Dict[int, frozenset] = {}
+        #: ... and its inverse: peers whose purge consults each owner
+        self._watchers: Dict[int, Set[int]] = {}
+        #: peers whose boundary maintenance is due at the next round start
+        #: (deferred so the oracle snapshot keeps the legacy round-start
+        #: timing: changes made during round r become visible in round r+1)
+        self._pending_refresh: Set[int] = set()
+        #: owners whose liveness/phantom verdicts flipped since the last
+        #: in-flight scan (level-set changes, membership); drained into
+        #: one _wake_flow_refs pass per round / membership event
+        self._level_flips: Set[int] = set()
 
     # ------------------------------------------------------------------
     # construction
@@ -73,6 +122,17 @@ class ReChordNetwork:
         state = PeerState(peer_id, self.space)
         peer = ReChordPeer(state, self.config, self._ref_alive)
         self.peers[peer_id] = peer
+        if self.incremental:
+            # defensive: stale references to this (formerly dead) id flip
+            # their liveness verdict, so their holders must re-run.  The
+            # in-flight scan runs now AND again at the next round start
+            # (peer_id stays queued in _level_flips): a mid-round event
+            # misses envelopes still sitting in outboxes at scan time.
+            self._flush_pending_refresh()
+            self._dirty_watchers(peer_id)
+            self._wake_flow_refs({peer_id})
+            self._level_flips.add(peer_id)
+            self._refs_out[peer_id] = frozenset()
         self.scheduler.add_actor(peer_id, peer)
         self._level_snapshot[peer_id] = frozenset(state.nodes)
         return peer
@@ -80,7 +140,10 @@ class ReChordNetwork:
     def ensure_virtual(self, peer_id: int, level: int) -> NodeRef:
         """Pre-create a virtual node (for corrupt initial states)."""
         node = self.peers[peer_id].state.ensure_level(level)
-        self._level_snapshot[peer_id] = frozenset(self.peers[peer_id].state.nodes)
+        if not self.incremental:
+            self._level_snapshot[peer_id] = frozenset(self.peers[peer_id].state.nodes)
+        # incremental mode: the version sweep in run_round refreshes the
+        # snapshot AND re-activates peers watching this owner
         return node.ref
 
     def ref(self, peer_id: int, level: int = 0) -> NodeRef:
@@ -102,7 +165,8 @@ class ReChordNetwork:
         if peer is None:
             raise KeyError(f"unknown peer {src.owner}")
         node = peer.state.ensure_level(src.level)
-        self._level_snapshot[src.owner] = frozenset(peer.state.nodes)
+        if not self.incremental:
+            self._level_snapshot[src.owner] = frozenset(peer.state.nodes)
         if dst == node.ref:
             return
         if kind is EdgeKind.UNMARKED:
@@ -124,6 +188,105 @@ class ReChordNetwork:
         return REF_OK if ref.level in levels else REF_PHANTOM
 
     # ------------------------------------------------------------------
+    # activity bookkeeping (incremental engine)
+    # ------------------------------------------------------------------
+    def _flush_pending_refresh(self) -> None:
+        """Apply deferred boundary maintenance immediately.
+
+        Membership events consult the watcher index between rounds; the
+        index (and the oracle snapshot) must reflect the *last* boundary
+        first, or peers that acquired a reference to the affected owner
+        in the most recent round would be missed.
+        """
+        if self._pending_refresh:
+            for pid in self._pending_refresh:
+                if pid in self.peers:
+                    self._refresh_peer(pid)
+            self._pending_refresh.clear()
+
+    def _dirty_watchers(self, owner: int) -> None:
+        """Re-activate every peer whose purge consults ``owner``."""
+        watchers = self._watchers.get(owner)
+        if not watchers:
+            return
+        mark = self.scheduler.mark_dirty
+        for pid in watchers:
+            if pid in self.peers:
+                mark(pid)
+
+    def _wake_flow_refs(self, owners) -> None:
+        """Re-activate receivers of in-flight messages that reference
+        any owner in ``owners``.
+
+        A liveness/phantom flip is visible not only to peers *holding*
+        a reference (the watcher index) but also to peers about to
+        *receive* one inside a circulating message (e.g. a streamed
+        connection edge whose endpoint just crashed or whose virtual
+        level was just dropped: the full-scan engine purges/rewrites it
+        after delivery, so a replayed receiver must be woken to do the
+        same).  One O(pending) scan per batch of changed owners.
+        """
+        if not isinstance(owners, (set, frozenset)):
+            owners = {owners}
+        mark = self.scheduler.mark_dirty
+        for env in self.scheduler.all_pending():
+            # every protocol payload enumerates its refs (events.refs());
+            # a payload type without refs() would be a protocol bug, so
+            # fail loudly rather than silently skip it
+            for ref in env.payload.refs():
+                if ref.owner in owners:
+                    # carry: the message leaves the receiver's inbox one
+                    # round after it is consumed
+                    mark(env.target, carry=True)
+                    break
+
+    def _update_refs_out(self, pid: int) -> None:
+        """Maintain the reverse (owner -> watchers) dependency index."""
+        owners = frozenset(self.peers[pid].state.referenced_owners())
+        old = self._refs_out.get(pid, frozenset())
+        if owners == old:
+            return
+        watchers = self._watchers
+        for o in old - owners:
+            entry = watchers.get(o)
+            if entry is not None:
+                entry.discard(pid)
+                if not entry:
+                    del watchers[o]
+        for o in owners - old:
+            watchers.setdefault(o, set()).add(pid)
+        self._refs_out[pid] = owners
+
+    def _refresh_peer(self, pid: int) -> None:
+        """Boundary maintenance after a peer's state changed.
+
+        Updates the liveness-oracle snapshot (re-activating watchers on a
+        level-set change, which can flip ``ok``/``phantom`` verdicts) and
+        the reverse-dependency index.
+        """
+        levels = frozenset(self.peers[pid].state.nodes)
+        if levels != self._level_snapshot.get(pid):
+            self._level_snapshot[pid] = levels
+            self._dirty_watchers(pid)
+            # ok/phantom verdicts for this owner flipped: receivers of
+            # in-flight refs to it must re-run too (drained in one scan)
+            self._level_flips.add(pid)
+        self._update_refs_out(pid)
+
+    def _drain_level_flips(self) -> None:
+        """One in-flight scan for all owners whose verdicts flipped."""
+        if self._level_flips:
+            self._wake_flow_refs(self._level_flips)
+            self._level_flips.clear()
+
+    def activity_stats(self) -> Tuple[int, int]:
+        """``(executed, replayed)`` split of the last round."""
+        return (
+            self.scheduler.executed_last_round,
+            self.scheduler.replayed_last_round,
+        )
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     @property
@@ -143,12 +306,35 @@ class ReChordNetwork:
         toward asynchrony studied by the asynchrony experiment; peers
         left out keep their state and accumulate their inbox.
         """
-        # freeze the level map so the oracle answers with round-start
-        # state regardless of peer iteration order (order-independence)
-        self._level_snapshot = {
-            pid: frozenset(peer.state.nodes) for pid, peer in self.peers.items()
-        }
-        self.scheduler.run_round(active)
+        if not self.incremental:
+            # freeze the level map so the oracle answers with round-start
+            # state regardless of peer iteration order (order-independence)
+            self._level_snapshot = {
+                pid: frozenset(peer.state.nodes) for pid, peer in self.peers.items()
+            }
+            self.scheduler.run_round(active)
+            return
+        sched = self.scheduler
+        # boundary maintenance deferred from the previous round: the
+        # snapshot now advances to the last boundary, re-activating
+        # watchers of level-set changes (same visibility round as the
+        # legacy engine's full round-start rebuild)
+        self._flush_pending_refresh()
+        # sweep for out-of-band mutations since the last boundary (tests,
+        # join seeds, perturbations): cheap integer compare per peer
+        for pid, peer in self.peers.items():
+            if peer.state.version != sched.noted_version(pid):
+                sched.resync_actor(pid)
+                sched.mark_dirty(pid)
+                self._refresh_peer(pid)
+        # one in-flight scan for all verdict flips the refreshes surfaced
+        self._drain_level_flips()
+        sched.run_round(active)
+        # schedule boundary maintenance for peers this round changed
+        if active is None:
+            self._pending_refresh.update(sched.state_changed_keys)
+        else:
+            self._pending_refresh.update(active & set(self.peers))
 
     def run(self, rounds: int) -> None:
         """Execute ``rounds`` rounds."""
@@ -166,11 +352,29 @@ class ReChordNetwork:
         non-converging protocol must fail loudly).  With ``track_almost``
         the report also carries the first round at which all desired
         edges of the ideal topology existed.
+
+        The incremental engine detects the repeat from the scheduler's
+        change flag (exact state tokens + the rolling pending-hash), an
+        O(active work) check; the legacy engine compares full O(n)
+        fingerprints.  The differential tests assert both produce the
+        same report on the same input.
         """
         ideal = compute_ideal(self.space, self.peer_ids) if track_almost else None
         almost: Optional[int] = None
         if ideal is not None and self._almost_stable(ideal):
             almost = 0
+        if self.incremental:
+            for executed in range(1, max_rounds + 1):
+                self.run_round()
+                if ideal is not None and almost is None and self._almost_stable(ideal):
+                    almost = executed
+                if not self.scheduler.changed_last_round:
+                    return StabilizationReport(
+                        rounds_to_stable=executed - 1,
+                        rounds_to_almost=almost,
+                        rounds_executed=executed,
+                    )
+            raise RuntimeError(f"network not stable within {max_rounds} rounds")
         prev = self.fingerprint()
         for executed in range(1, max_rounds + 1):
             self.run_round()
@@ -200,16 +404,34 @@ class ReChordNetwork:
         )
         return (peers, pending)
 
-    def is_fixed_point(self) -> bool:
+    def incremental_fingerprint(self) -> tuple:
+        """The rolling 64-bit configuration hash ``(states, pending)``.
+
+        Maintained by the activity-tracked scheduler from dirty peers and
+        delivered/expired envelopes only — O(active work) per round, no
+        global scan.  Valid at round boundaries of the incremental
+        engine; equal configurations always hash equal, distinct ones
+        collide with probability ~2^-64.
+        """
+        if not self.incremental:
+            raise RuntimeError("incremental fingerprint requires the incremental engine")
+        return self.scheduler.config_hash()
+
+    def is_fixed_point(self, peek: bool = False) -> bool:
         """Whether one more round leaves the configuration unchanged.
 
-        Non-destructive in the observational sense used by tests: it runs
-        a round and compares (the stable state is invariant, so running a
-        round on a stable network is a no-op by definition).
+        With ``peek=False`` (historical behavior) this *runs a round on
+        the live network* and compares: observationally non-destructive
+        on a stable network — the stable state is invariant — but it
+        advances :attr:`round_no` as a side effect and mutates state if
+        the network was *not* stable.  With ``peek=True`` the probe round
+        runs on a deep copy, leaving the network (round counter
+        included) completely untouched in both outcomes.
         """
-        before = self.fingerprint()
-        self.run_round()
-        return self.fingerprint() == before
+        probe = copy.deepcopy(self) if peek else self
+        before = probe.fingerprint()
+        probe.run_round()
+        return probe.fingerprint() == before
 
     def matches_ideal(self, ideal: Optional[IdealTopology] = None) -> bool:
         """Whether every peer's state equals the ideal stable topology."""
@@ -304,6 +526,26 @@ class ReChordNetwork:
         del self.peers[peer_id]
         self.scheduler.remove_actor(peer_id)
         self._level_snapshot.pop(peer_id, None)
+        if self.incremental:
+            self._pending_refresh.discard(peer_id)
+            # holders of references to the departed peer purge them at
+            # their next step — wake them (on a *current* watcher index),
+            # as must receivers of in-flight messages carrying its refs.
+            # Scan now AND at the next round start (peer_id stays queued
+            # in _level_flips): a mid-round removal misses envelopes
+            # still sitting in outboxes at scan time.
+            self._flush_pending_refresh()
+            self._dirty_watchers(peer_id)
+            self._wake_flow_refs({peer_id})
+            self._level_flips.add(peer_id)
+            old = self._refs_out.pop(peer_id, frozenset())
+            for o in old:
+                entry = self._watchers.get(o)
+                if entry is not None:
+                    entry.discard(peer_id)
+                    if not entry:
+                        del self._watchers[o]
+            self._watchers.pop(peer_id, None)
 
     # ------------------------------------------------------------------
     # snapshots & accounting

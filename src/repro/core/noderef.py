@@ -44,6 +44,17 @@ class NodeRef:
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("NodeRef is immutable")
 
+    # immutability makes copying the identity function (and keeps
+    # ``copy.deepcopy`` away from the raising ``__setattr__``)
+    def __copy__(self) -> "NodeRef":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "NodeRef":
+        return self
+
+    def __reduce__(self):
+        return (NodeRef, (self.id, self.owner, self.level))
+
     @staticmethod
     def real(owner: int) -> "NodeRef":
         """The real node (level 0) of peer ``owner``."""

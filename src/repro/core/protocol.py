@@ -65,7 +65,7 @@ _KEY = attrgetter("_key")
 class ReChordPeer:
     """Actor running the Re-Chord rules for one peer."""
 
-    __slots__ = ("state", "config", "counters", "_ref_alive")
+    __slots__ = ("state", "config", "counters", "_ref_alive", "_replay_delta")
 
     def __init__(
         self,
@@ -78,12 +78,17 @@ class ReChordPeer:
         self.config = config
         self.counters = counters if counters is not None else RuleCounters()
         self._ref_alive = ref_alive
+        #: per-rule counter increments of the last executed step; replayed
+        #: by the activity-tracked scheduler so quiescent rounds keep the
+        #: exact same rule-firing accounting as fully executed ones
+        self._replay_delta: dict = {}
 
     # ------------------------------------------------------------------
     # actor entry point
     # ------------------------------------------------------------------
     def step(self, inbox: Sequence[Envelope], ctx: RoundContext) -> None:
         """One synchronous round: apply inbox, purge, rules 1-6."""
+        fires_before = dict(self.counters.fires)
         self._apply_inbox(inbox)
         self._purge()
         cfg = self.config
@@ -99,6 +104,34 @@ class ReChordPeer:
             self._rule5_ring(ctx)
         if cfg.connection:
             self._rule6_connection(ctx)
+        fires = self.counters.fires
+        self._replay_delta = {
+            rule: count - fires_before.get(rule, 0)
+            for rule, count in fires.items()
+            if count != fires_before.get(rule, 0)
+        }
+
+    # ------------------------------------------------------------------
+    # activity-tracking probes (see repro.netsim.scheduler)
+    # ------------------------------------------------------------------
+    def state_version(self) -> int:
+        """Cheap monotonic possibly-changed counter of the peer state."""
+        return self.state.version
+
+    def state_token(self) -> tuple:
+        """Exact boundary state (the peer's canonical fingerprint part)."""
+        return self.state.canonical()
+
+    def replay_step(self) -> None:
+        """Re-apply the side effects of the last executed step.
+
+        Called instead of :meth:`step` when the scheduler replays a
+        quiescent round: state and emissions are known to repeat, and the
+        rule counters advance by the cached delta so accounting stays
+        identical to a full execution.
+        """
+        for rule, amount in self._replay_delta.items():
+            self.counters.bump(rule, amount)
 
     # ------------------------------------------------------------------
     # message delivery (delayed assignments)

@@ -1,28 +1,55 @@
-"""Theorem 1.1 — stabilization-time scaling.
+"""Theorem 1.1 — stabilization-time scaling, plus engine-scaling paths.
 
 The theorem bounds self-stabilization by O(n log n) rounds w.h.p.; the
 paper's simulations observe sublinear-to-linear growth and conclude the
-bound is probably not tight.  This experiment measures rounds-to-stable
+bound is probably not tight.  ``run_scaling`` measures rounds-to-stable
 over a geometric size ladder and reports the growth against three
 reference shapes (log n, n, n log n) so the conclusion can be checked at
 a glance: the normalized ``rounds / n log n`` column must *decrease* if
 the paper's observation holds.
+
+Large-N engine path
+-------------------
+
+Post-churn recovery is *local* (Theorems 4.1/4.2: a join touches a
+O(log² n)-round neighborhood), which is exactly what the incremental
+activity-tracked kernel exploits.  To measure that at sizes where
+stabilizing from a random start would take hours, ``build_ideal_network``
+constructs the unique stable topology directly from
+:func:`repro.core.ideal.compute_ideal` and lets the constant message
+flow settle in a handful of rounds.  ``run_engine_comparison`` then
+drives the same single-join re-stabilization through both kernels
+(legacy full-scan vs. incremental) and reports rounds/sec side by side —
+the regression benchmark behind ``benchmarks/bench_engine_throughput.py``
+and the CI smoke gate.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.ideal import compute_ideal
+from repro.core.network import ReChordNetwork, StabilizationReport
+from repro.core.rules import RuleConfig
 from repro.experiments.runner import (
     DEFAULT_ROOT_SEED,
     MeanStd,
     format_sweep,
     sweep_sizes,
 )
-from repro.workloads.initial import build_random_network
+from repro.idspace.ring import IdSpace
+from repro.netsim.rng import SeedSequence
+from repro.workloads.initial import build_random_network, random_peer_ids
 
 DEFAULT_SIZES = (8, 16, 32, 64, 128)
+
+#: size ladder of the engine-throughput comparison (quick / full)
+ENGINE_SIZES_QUICK = (64, 256)
+ENGINE_SIZES_FULL = (64, 256, 1024, 4096)
 
 
 def measure_one(n: int, seed: int, max_rounds: int = 20_000) -> Dict[str, float]:
@@ -54,3 +81,170 @@ def format_scaling(result: Dict[int, Dict[str, MeanStd]]) -> str:
         columns=("rounds", "rounds_over_logn", "rounds_over_n", "rounds_over_nlogn"),
         title="Theorem 1.1 — stabilization rounds vs. n (O(n log n) bound)",
     )
+
+
+# ----------------------------------------------------------------------
+# large-N stable-network construction
+# ----------------------------------------------------------------------
+def build_ideal_network(
+    n: int,
+    seed: int,
+    space: Optional[IdSpace] = None,
+    config: Optional[RuleConfig] = None,
+    incremental: bool = True,
+    settle_rounds: int = 64,
+) -> ReChordNetwork:
+    """A network *constructed in* its unique stable topology.
+
+    Peer states are written directly from :func:`compute_ideal` (same
+    state the protocol would converge to); the stable configuration also
+    contains a constant in-flight message flow, so a short
+    ``run_until_stable`` lets that flow establish itself — a handful of
+    rounds instead of a full O(n)-peer stabilization.  This is the only
+    practical way to obtain stable networks at n ≥ 1024 for the
+    post-churn engine benchmarks.
+    """
+    space = space if space is not None else IdSpace()
+    rng = random.Random(seed)
+    ids = random_peer_ids(n, rng, space)
+    net = ReChordNetwork(space, config, incremental=incremental)
+    ideal = compute_ideal(space, ids)
+    for pid in ids:
+        peer = net.add_peer(pid)
+        state = peer.state
+        for level in range(0, ideal.m_star[pid] + 1):
+            node = state.ensure_level(level)
+            ref = node.ref
+            node.nu = set(ideal.nu[ref])
+            node.nr = set(ideal.nr[ref])
+            node.rl = ideal.rl[ref]
+            node.rr = ideal.rr[ref]
+            node.wrap_rl = ideal.wrap_rl[ref]
+            node.wrap_rr = ideal.wrap_rr[ref]
+    # raises RuntimeError if the constructed state is not within a few
+    # rounds of the true fixpoint (i.e. compute_ideal and the rules
+    # disagree) — the loud failure mode we want here
+    net.run_until_stable(max_rounds=settle_rounds)
+    return net
+
+
+# ----------------------------------------------------------------------
+# engine-throughput comparison (full-scan vs. incremental)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineRow:
+    """One size of the engine comparison."""
+
+    n: int
+    rounds: int                 #: rounds the re-stabilization took
+    full_rounds_per_sec: float
+    incr_rounds_per_sec: float
+    executed_fraction: float    #: mean executed/peers per round (incremental)
+
+    @property
+    def speedup(self) -> float:
+        """Incremental over full-scan throughput."""
+        if self.full_rounds_per_sec <= 0:
+            return float("inf")
+        return self.incr_rounds_per_sec / self.full_rounds_per_sec
+
+
+def _post_churn_restabilize(
+    net: ReChordNetwork, join_id: int, gateway: int, max_rounds: int
+) -> Tuple[StabilizationReport, float, float]:
+    """Join one peer into an incremental-engine network and time the
+    re-stabilization.
+
+    Returns ``(report, seconds, mean_executed_fraction)`` where the
+    executed fraction is the share of peers that actually ran rules per
+    round (the rest were replayed from the steady-emission cache).
+    """
+    net.join(join_id, gateway)
+    executed_total = 0
+    rounds = 0
+    stable = False
+    t0 = time.perf_counter()
+    # inline run_until_stable so the per-round executed split is sampled
+    for _ in range(max_rounds):
+        net.run_round()
+        rounds += 1
+        executed, _replayed = net.activity_stats()
+        executed_total += executed
+        if not net.scheduler.changed_last_round:
+            stable = True
+            break
+    elapsed = time.perf_counter() - t0
+    if not stable:
+        # a silent non-converged "report" would poison every downstream
+        # rounds/sec comparison; fail like run_until_stable does
+        raise RuntimeError(f"network not stable within {max_rounds} rounds")
+    report = StabilizationReport(rounds - 1, None, rounds)
+    frac = executed_total / max(1, rounds * len(net.peers))
+    return report, elapsed, frac
+
+
+def measure_engine_pair(
+    n: int, seed: int, max_rounds: int = 2_000
+) -> EngineRow:
+    """Single-join re-stabilization, timed through both kernels.
+
+    The incremental engine runs first and establishes the exact number
+    of re-stabilization rounds from its change flag; the legacy engine
+    then executes the *same* number of rounds on the same input, so both
+    timings cover identical work (the legacy engine would need O(n)
+    fingerprints on top to even detect stability — deliberately excluded
+    to keep the comparison conservative).
+    """
+    seq = SeedSequence(seed).child("engine", n=n)
+    build_seed = seq.child("build").seed()
+    rng = seq.child("join").rng()
+
+    incr = build_ideal_network(n, build_seed, incremental=True)
+    space = incr.space
+    join_id = random_peer_ids(1, rng, space)[0]
+    while join_id in incr.peers:
+        join_id = random_peer_ids(1, rng, space)[0]
+    gateway = rng.choice(incr.peer_ids)
+
+    report, incr_secs, frac = _post_churn_restabilize(incr, join_id, gateway, max_rounds)
+    rounds = report.rounds_executed
+
+    full = build_ideal_network(n, build_seed, incremental=False)
+    full.join(join_id, gateway)
+    t0 = time.perf_counter()
+    full.run(rounds)
+    full_secs = time.perf_counter() - t0
+
+    if incr.fingerprint() != full.fingerprint():  # pragma: no cover - guarded by tests
+        raise AssertionError(f"engine divergence at n={n}, seed={seed}")
+    return EngineRow(
+        n=n,
+        rounds=rounds,
+        full_rounds_per_sec=rounds / full_secs if full_secs > 0 else float("inf"),
+        incr_rounds_per_sec=rounds / incr_secs if incr_secs > 0 else float("inf"),
+        executed_fraction=frac,
+    )
+
+
+def run_engine_comparison(
+    sizes: Sequence[int] = ENGINE_SIZES_QUICK,
+    seed: int = DEFAULT_ROOT_SEED,
+    max_rounds: int = 2_000,
+) -> Dict[int, EngineRow]:
+    """The old-vs-new kernel comparison over a size ladder."""
+    return {n: measure_engine_pair(n, seed, max_rounds) for n in sizes}
+
+
+def format_engine_comparison(rows: Dict[int, EngineRow]) -> str:
+    """Rounds/sec table: full-scan vs. incremental kernel."""
+    lines = [
+        "Engine throughput — post-churn re-stabilization (single join into a stable network)",
+        f"{'n':>6} {'rounds':>7} {'full r/s':>10} {'incr r/s':>10} {'speedup':>8} {'exec%':>6}",
+    ]
+    for n in sorted(rows):
+        r = rows[n]
+        lines.append(
+            f"{r.n:>6} {r.rounds:>7} {r.full_rounds_per_sec:>10.2f} "
+            f"{r.incr_rounds_per_sec:>10.2f} {r.speedup:>7.1f}x {100 * r.executed_fraction:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, Sequence
+
+#: 64-bit wrap-around for the rolling multiset fingerprints
+HASH_MASK = (1 << 64) - 1
 
 
 @dataclass(frozen=True)
@@ -22,3 +25,28 @@ class Envelope:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Envelope({self.sender!r} -> {self.target!r}: {self.payload!r})"
+
+
+def envelope_fingerprint(env: Envelope) -> int:
+    """Order-independent fingerprint contribution of one in-flight message.
+
+    Mirrors the canonical pending-message identity used by the global
+    network fingerprint: ``(target, payload.canonical())`` — the sender
+    is deliberately excluded.  Payloads without ``canonical()`` (generic
+    actors in unit tests) hash directly, falling back to ``repr`` for
+    unhashable ones; exactness guarantees only cover canonical payloads.
+    """
+    payload = env.payload
+    canon = payload.canonical() if hasattr(payload, "canonical") else payload
+    try:
+        return hash((env.target, canon)) & HASH_MASK
+    except TypeError:
+        return hash((env.target, repr(canon))) & HASH_MASK
+
+
+def outbox_fingerprint(outbox: Sequence[Envelope]) -> int:
+    """Multiset hash-sum of one actor's emissions (64-bit wrap-around)."""
+    total = 0
+    for env in outbox:
+        total = (total + envelope_fingerprint(env)) & HASH_MASK
+    return total

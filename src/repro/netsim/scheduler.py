@@ -12,13 +12,64 @@ Semantics (paper Section 2.1):
 The scheduler iterates actors in sorted-key order for determinism, but
 because actors cannot read each other's state the iteration order is
 unobservable to a correct protocol (a property the test suite checks).
+
+Activity tracking (the incremental engine)
+------------------------------------------
+
+With ``activity_tracking=True`` (the default) the scheduler exploits the
+locality of self-stabilization (paper Theorems 4.1/4.2: post-churn
+recovery only touches a neighborhood): instead of stepping every actor
+every round, it maintains a **dirty set** and only executes actors that
+can possibly behave differently from their last executed step.  An actor
+is dirty when
+
+* it was just registered, or externally marked via :meth:`mark_dirty`;
+* its state changed — detected cheaply via the optional ``state_version``
+  probe (a monotonic counter bumped by every mutating operation) and
+  confirmed exactly via the optional ``state_token`` probe (a canonical
+  state tuple), so transient within-step mutations that cancel out do
+  not keep an actor dirty;
+* a message was :meth:`post`-ed to it; or
+* an actor whose *emissions changed* sent to it (receivers of both the
+  old and the new outbox are re-activated, so vanished flows wake their
+  former receivers too).
+
+A clean actor's round is **replayed** from the steady-emission cache:
+its inbox is consumed with no state effect, its cached outbox is re-sent
+verbatim, and its optional ``replay_step`` hook re-applies cached side
+effects (e.g. rule-counter increments).  This is exact, not heuristic:
+by induction a clean actor's inbox equals the inbox of its last executed
+step, so re-running the (deterministic) step would reproduce the cached
+emissions and leave the state untouched.  Actors that implement none of
+the probes are simply always dirty and keep the paper's every-actor
+semantics.
+
+The O(active-work) stability flag :attr:`changed_last_round` (used by
+``ReChordNetwork.run_until_stable`` instead of a full O(n) fingerprint
+per round) is computed from **exact** comparisons only: per-actor state
+tokens plus per-actor emission comparisons against the steady-emission
+cache, with one-shot flags for posts and membership changes.  The
+scheduler additionally maintains a **rolling configuration hash** — a
+64-bit multiset sum over state-token hashes and all in-flight envelope
+hashes, updated only from dirty actors and delivered/expired/posted
+envelopes.  The hash is exposed for cheap external observation
+(:meth:`config_hash`); it is deliberately *not* part of the stability
+decision because a sum of non-cryptographic hashes admits structured
+collisions.  ``changed_last_round`` is meaningful only for fully
+activated rounds; a partial-activation round (the asynchrony bridge)
+conservatively marks every actor dirty and reports ``True``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence, Set
 
-from repro.netsim.messages import Envelope
+from repro.netsim.messages import (
+    HASH_MASK as _MASK,
+    Envelope,
+    envelope_fingerprint as _envelope_hash,
+    outbox_fingerprint as _outbox_hash,
+)
 from repro.netsim.trace import TraceRecorder
 
 
@@ -27,6 +78,13 @@ class Actor(Protocol):
 
     ``step`` is invoked once per round with the actor's fresh inbox and a
     :class:`RoundContext` used to emit messages.
+
+    Actors may additionally implement the optional activity-tracking
+    probes ``state_version() -> int`` (cheap monotonic possibly-changed
+    counter), ``state_token() -> Hashable`` (exact canonical state,
+    queried only when the version moved) and ``replay_step() -> None``
+    (re-apply cached side effects of the last executed step).  Actors
+    without the probes are treated as always-dirty and never replayed.
     """
 
     def step(self, inbox: Sequence[Envelope], ctx: "RoundContext") -> None:
@@ -62,13 +120,57 @@ class RoundContext:
 class SynchronousScheduler:
     """Drives a set of actors through synchronous rounds."""
 
-    def __init__(self, trace: Optional[TraceRecorder] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        activity_tracking: bool = True,
+    ) -> None:
         self._actors: Dict[Hashable, Actor] = {}
         self._inboxes: Dict[Hashable, List[Envelope]] = {}
         self._round = 0
         self._trace = trace
         #: messages addressed to unregistered actors in the last round
         self.dropped_last_round = 0
+        #: whether the dirty-set/replay engine is active
+        self.activity_tracking = activity_tracking
+        # ---- activity-tracking state -------------------------------------
+        #: actors that must execute (not replay) next round
+        self._dirty: Set[Hashable] = set()
+        #: actors that must ALSO execute the round after next: one-shot
+        #: flow events (a post consumed, a removed actor's last in-flight
+        #: emissions) change a receiver's inbox one round *after* the
+        #: event round, so a single dirty mark would expire too early
+        self._dirty_carry: Set[Hashable] = set()
+        #: bound (state_version, state_token, replay_step) probes per actor
+        self._probes: Dict[Hashable, tuple] = {}
+        #: state_version observed at the last boundary sync per actor
+        self._ver: Dict[Hashable, int] = {}
+        #: exact state token at the last boundary sync per actor
+        self._tok: Dict[Hashable, Hashable] = {}
+        #: hash of the cached token (rolling-hash contribution) per actor
+        self._tok_hash: Dict[Hashable, int] = {}
+        #: steady-emission cache: outbox of the last executed step
+        self._out: Dict[Hashable, List[Envelope]] = {}
+        #: multiset hash-sum of the cached outbox per actor
+        self._out_hash: Dict[Hashable, int] = {}
+        #: rolling hash over all in-flight envelopes (next round's inboxes)
+        self._pending_hash = 0
+        #: rolling hash over all tracked actors' state tokens
+        self._state_hash = 0
+        #: external flow change (post / membership) pending for next round
+        self._flow_flag = False
+        #: targets post()ed to while a tracked round is executing: they
+        #: must execute (not replay) THIS round or the injected message
+        #: would be silently consumed by the replay inbox-clear
+        self._posted_mid_round: Set[Hashable] = set()
+        self._in_round = False
+        #: whether the last full round changed the global configuration
+        self.changed_last_round = True
+        #: actors whose exact state token changed during the last round
+        self.state_changed_keys: Set[Hashable] = set()
+        #: execution/replay split of the last round (instrumentation)
+        self.executed_last_round = 0
+        self.replayed_last_round = 0
 
     # ------------------------------------------------------------------
     # membership
@@ -79,11 +181,51 @@ class SynchronousScheduler:
             raise KeyError(f"actor {key!r} already registered")
         self._actors[key] = actor
         self._inboxes[key] = []
+        if self.activity_tracking:
+            self._dirty.add(key)
+            ver_fn = getattr(actor, "state_version", None)
+            tok_fn = getattr(actor, "state_token", None)
+            replay_fn = getattr(actor, "replay_step", None)
+            self._probes[key] = (ver_fn, tok_fn, replay_fn)
+            if ver_fn is not None and tok_fn is not None:
+                # baseline the probes now so a no-op first round is
+                # recognized as such (exactness of changed_last_round)
+                self._ver[key] = ver_fn()
+                tok = tok_fn()
+                self._tok[key] = tok
+                h = hash(tok) & _MASK
+                self._tok_hash[key] = h
+                self._state_hash = (self._state_hash + h) & _MASK
+            self._out[key] = []
+            self._out_hash[key] = 0
 
     def remove_actor(self, key: Hashable) -> Actor:
         """Remove an actor; undelivered messages to it will be dropped."""
         actor = self._actors.pop(key)
-        self._inboxes.pop(key, None)
+        box = self._inboxes.pop(key, None)
+        if self.activity_tracking:
+            # its steady flow vanishes: former receivers must re-run —
+            # both next round (defensive) and the round after, when its
+            # final in-flight emissions actually disappear from inboxes
+            out = self._out.pop(key, [])
+            if out:
+                self._flow_flag = True  # its contribution leaves the pending set
+            for env in out:
+                if env.target != key:
+                    self._dirty.add(env.target)
+                    self._dirty_carry.add(env.target)
+            self._out_hash.pop(key, None)
+            self._dirty_carry.discard(key)
+            if box:
+                for env in box:
+                    self._pending_hash = (self._pending_hash - _envelope_hash(env)) & _MASK
+            h = self._tok_hash.pop(key, None)
+            if h is not None:
+                self._state_hash = (self._state_hash - h) & _MASK
+            self._probes.pop(key, None)
+            self._ver.pop(key, None)
+            self._tok.pop(key, None)
+            self._dirty.discard(key)
         return actor
 
     def has_actor(self, key: Hashable) -> bool:
@@ -100,6 +242,67 @@ class SynchronousScheduler:
 
     def __len__(self) -> int:
         return len(self._actors)
+
+    # ------------------------------------------------------------------
+    # activity tracking
+    # ------------------------------------------------------------------
+    def mark_dirty(self, key: Hashable, carry: bool = False) -> None:
+        """Force ``key`` to execute (not replay) next round.
+
+        Used by the network layer when an actor's behavior may change for
+        reasons the scheduler cannot see (external state mutation, a
+        liveness-oracle change such as a membership event or a remote
+        level-set change).  ``carry=True`` keeps the actor executing for
+        one extra round — required when the trigger is a one-shot flow
+        change whose effect reaches the actor's inbox a round later.
+        """
+        self._dirty.add(key)
+        if carry:
+            self._dirty_carry.add(key)
+
+    def dirty_count(self) -> int:
+        """Number of actors scheduled to execute next round."""
+        return sum(1 for key in self._dirty if key in self._actors)
+
+    def noted_version(self, key: Hashable) -> Optional[int]:
+        """The actor's ``state_version`` at its last boundary sync.
+
+        The network layer compares this against the live version to
+        detect out-of-band state mutations between rounds.
+        """
+        return self._ver.get(key)
+
+    def resync_actor(self, key: Hashable) -> None:
+        """Re-baseline an externally mutated actor's probes *now*.
+
+        Makes the current (mutated) state the comparison baseline so
+        ``changed_last_round`` keeps measuring boundary-to-boundary
+        differences exactly, matching a full-scan fingerprint comparison
+        that would also start from the mutated state.
+        """
+        probes = self._probes.get(key)
+        if probes is None or probes[0] is None:
+            return
+        ver_fn, tok_fn, _ = probes
+        self._ver[key] = ver_fn()
+        tok = tok_fn()
+        if tok != self._tok.get(key):
+            self._tok[key] = tok
+            old_h = self._tok_hash.get(key, 0)
+            h = hash(tok) & _MASK
+            self._tok_hash[key] = h
+            self._state_hash = (self._state_hash - old_h + h) & _MASK
+
+    def config_hash(self) -> tuple:
+        """The rolling configuration hash ``(states, pending)``.
+
+        A 64-bit multiset-sum fingerprint of all tracked actor states
+        plus all in-flight messages, maintained incrementally from dirty
+        actors and delivered/expired envelopes only.  Two equal
+        configurations always hash equal; unequal configurations collide
+        with probability ~2^-64.  Only meaningful with activity tracking.
+        """
+        return (self._state_hash, self._pending_hash)
 
     # ------------------------------------------------------------------
     # execution
@@ -135,6 +338,18 @@ class SynchronousScheduler:
         if box is None:
             return False
         box.append(envelope)
+        if self.activity_tracking:
+            # the target consumes the injected message next round AND has
+            # it missing from its inbox the round after — dirty for both
+            self._dirty.add(envelope.target)
+            self._dirty_carry.add(envelope.target)
+            if self._in_round:
+                # mid-round injection: if the target has not stepped yet
+                # this round it must execute, not replay, or the message
+                # would vanish in the replay inbox-clear
+                self._posted_mid_round.add(envelope.target)
+            self._pending_hash = (self._pending_hash + _envelope_hash(envelope)) & _MASK
+            self._flow_flag = True  # one-shot injection: next boundary differs
         return True
 
     def run_round(self, active: Optional[set] = None) -> None:
@@ -145,6 +360,15 @@ class SynchronousScheduler:
         toward asynchrony: a sleeping actor keeps its state and inbox
         untouched).  ``None`` activates everyone, the paper's model.
         """
+        if not self.activity_tracking:
+            self._run_round_full(active)
+        elif active is not None:
+            self._run_round_partial_tracked(active)
+        else:
+            self._run_round_tracked()
+
+    # -- legacy full-scan kernel (activity_tracking=False) --------------
+    def _run_round_full(self, active: Optional[set]) -> None:
         round_no = self._round
         outboxes: List[List[Envelope]] = []
         # Snapshot keys: actors added mid-round (e.g. by a join event
@@ -175,6 +399,210 @@ class SynchronousScheduler:
         self.dropped_last_round = dropped
         if self._trace is not None:
             self._trace.record_round(round_no, actors=len(keys), sent=sent, dropped=dropped)
+        self._round += 1
+
+    # -- activity-tracked kernel, full activation ------------------------
+    def _run_round_tracked(self) -> None:
+        round_no = self._round
+        keys = sorted(self._actors)
+        state_changed_any = False
+        flow_changed = self._flow_flag  # posts / membership since last round
+        self._flow_flag = False
+        changed_keys: Set[Hashable] = set()
+        newly_dirty: Set[Hashable] = set()
+        contributions: List[List[Envelope]] = []
+        executed = 0
+        replayed = 0
+        new_pending = 0
+        # the working dirty set is detached so marks added DURING the
+        # round (mid-round remove_actor / mark_dirty / post) accumulate
+        # in a fresh set and survive the end-of-round reassignment;
+        # carries added mid-round likewise wait one extra round
+        dirty = self._dirty
+        self._dirty = set()
+        carry_due = self._dirty_carry
+        self._dirty_carry = set()
+        self._posted_mid_round = set()
+        self._in_round = True
+        for key in keys:
+            actor = self._actors.get(key)
+            if actor is None:  # removed by an earlier actor this round
+                continue
+            if key in dirty or key in self._posted_mid_round:
+                executed += 1
+                inbox = self._inboxes.get(key, [])
+                self._inboxes[key] = []
+                ctx = RoundContext(round_no, key, self)
+                actor.step(inbox, ctx)
+                out = ctx._outbox
+                probes = self._probes.get(key)
+                ver_fn = probes[0] if probes else None
+                if ver_fn is None:
+                    # untracked actor: assume changed, never replay
+                    state_changed = True
+                    newly_dirty.add(key)
+                else:
+                    state_changed = False
+                    version = ver_fn()
+                    if version != self._ver.get(key):
+                        # possibly changed; confirm with the exact token
+                        self._ver[key] = version
+                        tok = probes[1]()
+                        if tok != self._tok.get(key):
+                            self._tok[key] = tok
+                            old_h = self._tok_hash.get(key, 0)
+                            h = hash(tok) & _MASK
+                            self._tok_hash[key] = h
+                            self._state_hash = (self._state_hash - old_h + h) & _MASK
+                            state_changed = True
+                if state_changed:
+                    state_changed_any = True
+                    changed_keys.add(key)
+                    newly_dirty.add(key)
+                prev_out = self._out.get(key)
+                if prev_out != out:
+                    # this actor's flow changed: the next boundary's
+                    # pending set cannot repeat the previous one (exact —
+                    # a replayed actor repeats its contribution verbatim)
+                    flow_changed = True
+                    # wake only the targets whose per-sender sub-flow
+                    # actually changed (receivers of messages that
+                    # stopped, started, or were reordered), not every
+                    # receiver of an otherwise-stable emission
+                    prev_by: Dict[Hashable, List[Envelope]] = {}
+                    for env in prev_out or ():
+                        prev_by.setdefault(env.target, []).append(env)
+                    new_by: Dict[Hashable, List[Envelope]] = {}
+                    for env in out:
+                        new_by.setdefault(env.target, []).append(env)
+                    for target, sub in new_by.items():
+                        if prev_by.get(target) != sub:
+                            newly_dirty.add(target)
+                    for target in prev_by:
+                        if target not in new_by:
+                            newly_dirty.add(target)
+                    self._out[key] = out
+                    self._out_hash[key] = _outbox_hash(out)
+                contributions.append(self._out[key])
+                new_pending = (new_pending + self._out_hash[key]) & _MASK
+            else:
+                # quiescent: replay the steady emissions without rules
+                replayed += 1
+                box = self._inboxes.get(key)
+                if box:
+                    # the inbox provably repeats the last executed one;
+                    # consuming it is a known no-op on state
+                    self._inboxes[key] = []
+                replay_fn = self._probes.get(key, (None, None, None))[2]
+                if replay_fn is not None:
+                    replay_fn()
+                out = self._out.get(key, [])
+                contributions.append(out)
+                new_pending = (new_pending + self._out_hash.get(key, 0)) & _MASK
+
+        sent = 0
+        dropped = 0
+        inboxes = self._inboxes
+        for outbox in contributions:
+            for env in outbox:
+                sent += 1
+                box = inboxes.get(env.target)
+                if box is None:
+                    dropped += 1
+                    new_pending = (new_pending - _envelope_hash(env)) & _MASK
+                    continue
+                box.append(env)
+        self.dropped_last_round = dropped
+        self._pending_hash = new_pending
+        self.changed_last_round = state_changed_any or flow_changed
+        self.state_changed_keys = changed_keys
+        self.executed_last_round = executed
+        self.replayed_last_round = replayed
+        self._in_round = False
+        self._posted_mid_round = set()
+        newly_dirty |= carry_due
+        newly_dirty |= self._dirty  # marks added mid-round
+        self._dirty = newly_dirty
+        if self._trace is not None:
+            self._trace.record_round(
+                round_no, actors=len(keys), sent=sent, dropped=dropped, executed=executed
+            )
+        self._round += 1
+
+    # -- activity-tracked kernel, partial activation ---------------------
+    def _run_round_partial_tracked(self, active: set) -> None:
+        """Partial activation under tracking: execute actives, no replays.
+
+        Sleeping actors keep state *and inbox*; because that breaks the
+        inbox-repetition induction the replay cache relies on, every
+        actor is conservatively marked dirty afterwards and the round is
+        reported as changed.  Probe baselines of executed actors are kept
+        exact so later full rounds still detect stability correctly.
+        """
+        round_no = self._round
+        keys = sorted(self._actors)
+        outboxes: List[List[Envelope]] = []
+        executed = 0
+        changed_keys: Set[Hashable] = set()
+        for key in keys:
+            if key not in active:
+                continue
+            actor = self._actors.get(key)
+            if actor is None:
+                continue
+            executed += 1
+            inbox = self._inboxes.get(key, [])
+            self._inboxes[key] = []
+            ctx = RoundContext(round_no, key, self)
+            actor.step(inbox, ctx)
+            out = ctx._outbox
+            outboxes.append(out)
+            probes = self._probes.get(key)
+            if probes and probes[0] is not None:
+                version = probes[0]()
+                if version != self._ver.get(key):
+                    self._ver[key] = version
+                    tok = probes[1]()
+                    if tok != self._tok.get(key):
+                        self._tok[key] = tok
+                        old_h = self._tok_hash.get(key, 0)
+                        h = hash(tok) & _MASK
+                        self._tok_hash[key] = h
+                        self._state_hash = (self._state_hash - old_h + h) & _MASK
+                        changed_keys.add(key)
+            # refresh the emission cache with this (accumulated-inbox)
+            # execution so a later identity round can go quiescent
+            self._out[key] = out
+            self._out_hash[key] = _outbox_hash(out)
+
+        sent = 0
+        dropped = 0
+        for outbox in outboxes:
+            for env in outbox:
+                sent += 1
+                box = self._inboxes.get(env.target)
+                if box is None:
+                    dropped += 1
+                    continue
+                box.append(env)
+        self.dropped_last_round = dropped
+        # pending hash cannot be derived from contributions alone here
+        # (sleepers kept their inboxes): recompute it exactly
+        pending = 0
+        for box in self._inboxes.values():
+            for env in box:
+                pending = (pending + _envelope_hash(env)) & _MASK
+        self._pending_hash = pending
+        self.changed_last_round = True  # conservative; see docstring
+        self._flow_flag = True  # sleepers' flow resumes later: boundary differs
+        self.state_changed_keys = changed_keys
+        self.executed_last_round = executed
+        self.replayed_last_round = 0
+        self._dirty = set(self._actors)
+        if self._trace is not None:
+            self._trace.record_round(
+                round_no, actors=len(keys), sent=sent, dropped=dropped, executed=executed
+            )
         self._round += 1
 
     def run(self, rounds: int) -> None:

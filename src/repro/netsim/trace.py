@@ -13,12 +13,19 @@ from typing import List
 
 @dataclass(frozen=True)
 class RoundStats:
-    """Statistics of a single synchronous round."""
+    """Statistics of a single synchronous round.
+
+    ``executed`` is the number of actors that actually ran their rules
+    (vs. having a quiescent round replayed by the activity-tracked
+    scheduler); ``-1`` means the kernel did not report the split (the
+    legacy full-scan engine steps everyone).
+    """
 
     round_no: int
     actors: int
     sent: int
     dropped: int
+    executed: int = -1
 
 
 class TraceRecorder:
@@ -27,9 +34,11 @@ class TraceRecorder:
     def __init__(self) -> None:
         self._rounds: List[RoundStats] = []
 
-    def record_round(self, round_no: int, actors: int, sent: int, dropped: int) -> None:
+    def record_round(
+        self, round_no: int, actors: int, sent: int, dropped: int, executed: int = -1
+    ) -> None:
         """Append one round record (called by the scheduler)."""
-        self._rounds.append(RoundStats(round_no, actors, sent, dropped))
+        self._rounds.append(RoundStats(round_no, actors, sent, dropped, executed))
 
     def __len__(self) -> int:
         return len(self._rounds)

@@ -69,14 +69,20 @@ def build_random_network(
     config: Optional[RuleConfig] = None,
     extra_edge_prob: float = 0.05,
     record_trace: bool = False,
+    incremental: bool = True,
 ) -> ReChordNetwork:
-    """The paper's Section 5 workload: a random weakly connected start."""
+    """The paper's Section 5 workload: a random weakly connected start.
+
+    ``incremental`` selects the simulation kernel (see
+    :class:`repro.core.network.ReChordNetwork`); the differential tests
+    build the same seed with both kernels and compare round-for-round.
+    """
     if n < 1:
         raise ValueError("need at least one peer")
     space = space if space is not None else IdSpace()
     rng = random.Random(seed)
     ids = random_peer_ids(n, rng, space)
-    net = ReChordNetwork(space, config, record_trace=record_trace)
+    net = ReChordNetwork(space, config, record_trace=record_trace, incremental=incremental)
     edges = gnp_connected_graph(n, extra_edge_prob, rng) if n > 1 else []
     return _wire(net, ids, edges, rng)
 
@@ -87,6 +93,7 @@ def build_shaped_network(
     seed: int,
     space: Optional[IdSpace] = None,
     config: Optional[RuleConfig] = None,
+    incremental: bool = True,
 ) -> ReChordNetwork:
     """A degenerate initial shape (see :data:`SHAPES`)."""
     try:
@@ -96,7 +103,7 @@ def build_shaped_network(
     space = space if space is not None else IdSpace()
     rng = random.Random(seed)
     ids = random_peer_ids(n, rng, space)
-    net = ReChordNetwork(space, config)
+    net = ReChordNetwork(space, config, incremental=incremental)
     return _wire(net, ids, maker(n) if n > 1 else [], rng)
 
 

@@ -132,6 +132,127 @@ class TestScheduler:
         assert sched.actor_keys() == [1, 2, 3]
 
 
+class TestSchedulerSemanticsRegressions:
+    """Kernel contracts that must hold under BOTH engines.
+
+    The activity-tracked kernel replays quiescent actors instead of
+    stepping them; these regressions pin the delivery semantics the
+    protocols rely on, in both modes.
+    """
+
+    @pytest.mark.parametrize("tracking", [True, False])
+    def test_post_to_unregistered_returns_false_without_raising(self, tracking):
+        sched = SynchronousScheduler(activity_tracking=tracking)
+        sched.add_actor("a", Echo())
+        assert sched.post(Envelope("ext", "ghost", 1)) is False
+        # and the failed post left no residue: the round runs normally
+        sched.run_round()
+        assert sched.dropped_last_round == 0
+
+    @pytest.mark.parametrize("tracking", [True, False])
+    def test_mid_round_remove_drops_mail_and_counts(self, tracking):
+        """An actor removing a peer mid-round: messages already sent to
+        the removed actor this round are dropped and counted."""
+        sched = SynchronousScheduler(activity_tracking=tracking)
+
+        def killer_plan(inbox, ctx):
+            if sched.has_actor("victim"):
+                sched.remove_actor("victim")
+
+        victim = Echo()
+        sched.add_actor("a_sender", Echo(lambda i, c: c.send("victim", "mail")))
+        sched.add_actor("killer", Echo(killer_plan))
+        sched.add_actor("victim", victim)
+        sched.run_round()
+        assert not sched.has_actor("victim")
+        assert sched.dropped_last_round == 1
+        assert victim.inboxes in ([], [[]])  # never saw the dropped mail
+
+    @pytest.mark.parametrize("tracking", [True, False])
+    def test_partial_activation_preserves_sleeping_inboxes_exactly(self, tracking):
+        sched = SynchronousScheduler(activity_tracking=tracking)
+        sleeper = Echo()
+        sched.add_actor("talker", Echo(lambda i, c: c.send("sleeper", c.round_no)))
+        sched.add_actor("sleeper", sleeper)
+        sched.run_round()  # both step; talker's message lands for round 1
+        for _ in range(3):
+            sched.run_round(active={"talker"})
+        # the sleeper stepped once (empty inbox) and then slept; all four
+        # messages are waiting, in send order, nothing lost or reordered
+        assert sleeper.inboxes == [[]]
+        box = [env.payload for env in sched.all_pending() if env.target == "sleeper"]
+        assert box == [0, 1, 2, 3]
+        sched.run_round()
+        assert sleeper.inboxes[-1] == [0, 1, 2, 3]
+
+    def test_replayed_round_preserves_delivery_order(self):
+        """Quiescent replays must deliver the same envelopes in the same
+        order as executed rounds (sorted-sender concatenation)."""
+        from repro.workloads.initial import build_random_network
+
+        net = build_random_network(n=8, seed=5, incremental=True)
+        net.run_until_stable(max_rounds=4000)
+        before = net.scheduler.all_pending()
+        net.run_round()  # fully replayed
+        assert net.activity_stats()[0] == 0
+        assert net.scheduler.all_pending() == before
+
+    def test_mark_dirty_forces_execution(self):
+        from repro.workloads.initial import build_random_network
+
+        net = build_random_network(n=6, seed=9, incremental=True)
+        net.run_until_stable(max_rounds=4000)
+        victim = net.peer_ids[0]
+        net.scheduler.mark_dirty(victim)
+        net.run_round()
+        executed, replayed = net.activity_stats()
+        assert executed == 1 and replayed == len(net.peers) - 1
+
+    def test_mid_round_post_to_quiescent_actor_is_delivered(self):
+        """Regression: a post() issued DURING a round must not be eaten
+        by a later-sorted quiescent actor's replay inbox-clear — the
+        legacy kernel delivers it the same round."""
+
+        class Quiet:
+            """Probe-implementing actor that records payloads."""
+
+            def __init__(self):
+                self.got = []
+                self._v = 0
+
+            def step(self, inbox, ctx):
+                self.got.extend(e.payload for e in inbox)
+
+            def state_version(self):
+                return self._v
+
+            def state_token(self):
+                return ("quiet", self._v)
+
+        results = {}
+        for tracking in (True, False):
+            sched = SynchronousScheduler(activity_tracking=tracking)
+            quiet = Quiet()
+
+            def poster_plan(inbox, ctx, s=sched):
+                if ctx.round_no == 2:
+                    s.post(Envelope("ext", "z_quiet", "HELLO"))
+
+            sched.add_actor("a_poster", Echo(poster_plan))
+            sched.add_actor("z_quiet", quiet)
+            for _ in range(5):
+                sched.run_round()
+            results[tracking] = list(quiet.got)
+        assert "HELLO" in results[True]
+        assert results[True] == results[False]
+
+    def test_dirty_count_reports_registered_only(self):
+        sched = SynchronousScheduler(activity_tracking=True)
+        sched.add_actor("a", Echo())
+        sched.mark_dirty("ghost")
+        assert sched.dirty_count() == 1  # "a" only; ghost not registered
+
+
 class TestTrace:
     def test_records_per_round(self):
         trace = TraceRecorder()

@@ -43,6 +43,55 @@ class TestStableStateInvariance:
         assert len(set(counts)) == 1
 
 
+class TestIsFixedPointSideEffects:
+    """Regression for the historical mutation footgun: is_fixed_point()
+    ran a probe round on the live network, silently advancing round_no
+    (and mutating state when the network was unstable).  peek=True runs
+    the probe on a deep copy and must leave everything untouched."""
+
+    def test_default_still_advances_round_no(self):
+        net = stabilized(8, seed=30)
+        before = net.round_no
+        assert net.is_fixed_point()
+        assert net.round_no == before + 1  # documented historical behavior
+
+    def test_peek_leaves_stable_network_untouched(self):
+        net = stabilized(8, seed=31)
+        before_round = net.round_no
+        before_fp = net.fingerprint()
+        assert net.is_fixed_point(peek=True)
+        assert net.round_no == before_round
+        assert net.fingerprint() == before_fp
+
+    def test_peek_leaves_unstable_network_untouched(self):
+        from repro.workloads.initial import build_random_network
+
+        net = build_random_network(n=8, seed=32)
+        net.run(2)
+        before_round = net.round_no
+        before_fp = net.fingerprint()
+        assert not net.is_fixed_point(peek=True)
+        # the probe ran on a copy: nothing moved, state identical
+        assert net.round_no == before_round
+        assert net.fingerprint() == before_fp
+
+    def test_peek_probe_does_not_corrupt_future_rounds(self):
+        """After a peek the network evolves exactly as if the peek never
+        happened (both engines)."""
+        from repro.workloads.initial import build_random_network
+
+        for incremental in (True, False):
+            a = build_random_network(n=8, seed=33, incremental=incremental)
+            b = build_random_network(n=8, seed=33, incremental=incremental)
+            a.run(3)
+            b.run(3)
+            a.is_fixed_point(peek=True)  # probe on copy
+            ra = a.run_until_stable(max_rounds=4000)
+            rb = b.run_until_stable(max_rounds=4000)
+            assert ra == rb
+            assert a.fingerprint() == b.fingerprint()
+
+
 class TestLocalChecker:
     def test_stable_network_passes_all_local_checks(self):
         net = stabilized(14, seed=4)

@@ -141,3 +141,71 @@ class TestCanonical:
         node.nu.add(NodeRef.real(1))
         node.wrap_rl = NodeRef.real(2)
         assert node.all_out_refs() == {NodeRef.real(1), NodeRef.real(2)}
+
+
+class TestVersionTracking:
+    """The activity-tracking contract of PeerState.version: every
+    effective mutation bumps, no-ops never do."""
+
+    def test_effective_mutations_bump(self):
+        st = peer()
+        node = st.nodes[0]
+        v = st.version
+        node.nu.add(NodeRef.real(1))
+        assert st.version > v
+        v = st.version
+        node.rl = NodeRef.real(1)
+        assert st.version > v
+        v = st.version
+        st.ensure_level(2)
+        assert st.version > v
+        v = st.version
+        st.drop_level(2)
+        assert st.version > v
+
+    def test_noop_mutations_do_not_bump(self):
+        st = peer()
+        node = st.nodes[0]
+        ref = NodeRef.real(1)
+        node.nu.add(ref)
+        v = st.version
+        node.nu.add(ref)            # already present
+        node.nu.discard(NodeRef.real(99))  # absent
+        node.rl = node.rl           # equal assignment
+        st.ensure_level(0)          # exists
+        node.nu |= {ref}            # no new elements
+        assert st.version == v
+
+    def test_set_reassignment_rewraps_and_bumps_on_change(self):
+        from repro.core.state import TrackedSet
+
+        st = peer()
+        node = st.nodes[0]
+        v = st.version
+        node.nu = {NodeRef.real(7)}
+        assert isinstance(node.nu, TrackedSet)
+        assert st.version > v
+        v = st.version
+        node.nu = {NodeRef.real(7)}  # same content
+        assert st.version == v
+
+    def test_tracked_set_survives_pickle_and_copy(self):
+        """Regression: the default set reduction rebuilt TrackedSet with
+        the element list bound to the owner parameter, silently
+        producing an EMPTY set under pickle / copy.copy."""
+        import copy
+        import pickle
+
+        st = peer()
+        node = st.nodes[0]
+        node.nu.update({NodeRef.real(1), NodeRef.real(2), NodeRef.real(3)})
+        restored = pickle.loads(pickle.dumps(node.nu))
+        assert restored == node.nu and len(restored) == 3
+        shallow = copy.copy(node.nu)
+        assert shallow == node.nu and len(shallow) == 3
+        deep = copy.deepcopy(st)
+        assert deep.nodes[0].nu == node.nu
+        # the deep copy tracks its own owner, not the original
+        v = st.version
+        deep.nodes[0].nu.add(NodeRef.real(4))
+        assert st.version == v and deep.version > v
