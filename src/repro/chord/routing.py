@@ -7,12 +7,22 @@ without overshooting; if none helps, take the successor.  Both the Chord
 baseline's finger tables and the Re-Chord projection (Fact 2.1) can be
 routed this way, which is how the lookup experiment (E7) measures path
 lengths without simulating message exchanges.
+
+Failure semantics: routing over a *degraded* view (mid-stabilization
+snapshots, the usability experiment) can dead-end, loop, or simply not
+converge.  Loops are detected explicitly via a visited-set — the walk
+is memoryless-deterministic, so any revisit repeats the same trajectory
+forever — and every failure carries a machine-readable kind: ``strict=True`` (default) raises :class:`RoutingError` with a
+``kind`` attribute, ``strict=False`` returns a :class:`RouteResult`
+whose ``status`` names the failure and whose ``owner`` is the last peer
+reached.  In-band routing (:mod:`repro.traffic.plane`) mirrors these
+kinds, so snapshot and live routing report comparable outcomes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Set
+from typing import Callable, List, Optional, Sequence, Set
 
 from repro.core.ideal import chord_successor
 from repro.idspace.ring import IdSpace
@@ -20,18 +30,42 @@ from repro.idspace.ring import IdSpace
 #: returns the out-neighbors (peer ids) a peer can route through
 NeighborFn = Callable[[int], Set[int]]
 
+#: route statuses carried by RouteResult
+ROUTE_OK = "ok"
+ROUTE_LOOP = "loop"
+ROUTE_DEAD_END = "dead_end"
+ROUTE_HOP_LIMIT = "hop_limit"
+
 
 @dataclass(frozen=True)
 class RouteResult:
-    """Outcome of a greedy route: owner, hop count, and the path taken."""
+    """Outcome of a greedy route.
+
+    ``status`` is ``"ok"`` when the walk terminated at the responsible
+    peer; otherwise it names the failure (``loop`` / ``dead_end`` /
+    ``hop_limit``) and ``owner`` is the peer where the walk stopped.
+    """
 
     owner: int
     hops: int
     path: tuple
+    status: str = ROUTE_OK
+
+    @property
+    def ok(self) -> bool:
+        """Whether the route reached the responsible peer."""
+        return self.status == ROUTE_OK
 
 
 class RoutingError(RuntimeError):
-    """Raised when greedy routing cannot reach the responsible peer."""
+    """Raised (in strict mode) when greedy routing cannot reach the
+    responsible peer.  ``kind`` is the failure status, ``result`` the
+    partial :class:`RouteResult`."""
+
+    def __init__(self, message: str, kind: str = ROUTE_DEAD_END, result: Optional[RouteResult] = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.result = result
 
 
 def route_greedy(
@@ -41,6 +75,7 @@ def route_greedy(
     start: int,
     key: int,
     max_hops: int = 512,
+    strict: bool = True,
 ) -> RouteResult:
     """Route ``key`` from ``start`` over the given neighbor views.
 
@@ -48,11 +83,23 @@ def route_greedy(
     clockwise distance from the candidate to the key; a candidate is
     usable if it lies in the half-open arc ``(current, key]`` (no
     overshoot), exactly the paper's path definition.
+
+    ``strict=True`` raises :class:`RoutingError` on failure (historical
+    behavior); ``strict=False`` returns the partial result with its
+    ``status`` set instead.
     """
     ids = sorted(peer_ids)
     owner = chord_successor(space, ids, key)
     current = start
     path: List[int] = [start]
+    seen: Set[int] = {start}
+
+    def fail(kind: str, message: str) -> RouteResult:
+        result = RouteResult(current, len(path) - 1, tuple(path), kind)
+        if strict:
+            raise RoutingError(message, kind=kind, result=result)
+        return result
+
     for _ in range(max_hops):
         if current == owner:
             return RouteResult(owner, len(path) - 1, tuple(path))
@@ -72,9 +119,15 @@ def route_greedy(
             # successor and it equals `owner`
             forward = [c for c in neighbors(current) if c != current]
             if not forward:
-                raise RoutingError(f"dead end at {current} routing {key}")
-            succ = min(forward, key=lambda c: space.distance_cw(current, c))
-            best = succ
+                return fail(ROUTE_DEAD_END, f"dead end at {current} routing {key}")
+            best = min(forward, key=lambda c: space.distance_cw(current, c))
+        if best in seen:
+            # the walk is memoryless-deterministic: any revisit repeats
+            # the exact same trajectory forever
+            return fail(ROUTE_LOOP, f"routing loop via {best} routing {key}")
         current = best
+        seen.add(current)
         path.append(current)
-    raise RoutingError(f"no convergence after {max_hops} hops routing {key}")
+    if current == owner:  # reached on exactly the max_hops-th hop
+        return RouteResult(owner, len(path) - 1, tuple(path))
+    return fail(ROUTE_HOP_LIMIT, f"no convergence after {max_hops} hops routing {key}")

@@ -39,6 +39,8 @@ from repro.experiments.phases import format_phases, run_phases
 from repro.experiments.runner import DEFAULT_ROOT_SEED
 from repro.experiments.scaling import DEFAULT_SIZES as SCALING_SIZES
 from repro.experiments.scaling import format_scaling, run_scaling
+from repro.experiments.traffic import DEFAULT_SIZES as TRAFFIC_SIZES
+from repro.experiments.traffic import format_traffic, run_traffic
 
 QUICK_SIZES = (5, 15, 25)
 
@@ -78,6 +80,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("economy", "economical-broadcast extension comparison"),
         ("asynchrony", "fair partial activation robustness"),
         ("usability", "routability during convergence"),
+        ("traffic", "in-band lookups concurrent with churn (traffic plane)"),
         ("all", "run every experiment"),
     ]:
         p = sub.add_parser(name, help=desc)
@@ -122,6 +125,8 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
     if cmd in ("usability", "all"):
         n = getattr(args, "n", 24)
         out.append(format_usability(run_usability(n=n, root_seed=rs)))
+    if cmd in ("traffic", "all"):
+        out.append(format_traffic(run_traffic(_sizes(args, TRAFFIC_SIZES), _seeds(args, 1), rs)))
     return out
 
 

@@ -110,6 +110,14 @@ class ReChordNetwork:
         #: in-flight scan (level-set changes, membership); drained into
         #: one _wake_flow_refs pass per round / membership event
         self._level_flips: Set[int] = set()
+        #: application-plane handler installed on every peer (repro.traffic)
+        self._traffic_handler = None
+        #: bumped on every join/leave/crash — cheap staleness probe for
+        #: snapshot consumers (ReChordRouter caches key on view_version())
+        self._membership_version = 0
+        #: bumped on out-of-band topology edits (initial edges, pre-made
+        #: virtual levels) that change the projection without a round
+        self._mutation_version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -133,12 +141,15 @@ class ReChordNetwork:
             self._wake_flow_refs({peer_id})
             self._level_flips.add(peer_id)
             self._refs_out[peer_id] = frozenset()
+        peer.traffic = self._traffic_handler
         self.scheduler.add_actor(peer_id, peer)
         self._level_snapshot[peer_id] = frozenset(state.nodes)
+        self._membership_version += 1
         return peer
 
     def ensure_virtual(self, peer_id: int, level: int) -> NodeRef:
         """Pre-create a virtual node (for corrupt initial states)."""
+        self._mutation_version += 1
         node = self.peers[peer_id].state.ensure_level(level)
         if not self.incremental:
             self._level_snapshot[peer_id] = frozenset(self.peers[peer_id].state.nodes)
@@ -164,6 +175,7 @@ class ReChordNetwork:
         peer = self.peers.get(src.owner)
         if peer is None:
             raise KeyError(f"unknown peer {src.owner}")
+        self._mutation_version += 1
         node = peer.state.ensure_level(src.level)
         if not self.incremental:
             self._level_snapshot[src.owner] = frozenset(peer.state.nodes)
@@ -177,6 +189,61 @@ class ReChordNetwork:
             node.nc.add(dst)
         else:
             raise ValueError(f"initial edges cannot be of kind {kind}")
+
+    # ------------------------------------------------------------------
+    # application plane (repro.traffic)
+    # ------------------------------------------------------------------
+    class _NullTrafficHandler:
+        """Installed by :meth:`detach_traffic`: swallows in-flight
+        traffic payloads so outstanding operations time out quietly
+        instead of hitting the no-plane-attached error path."""
+
+        def handle(self, peer, payloads, ctx) -> None:
+            """Drop the payloads (the one-shot re-execution discipline
+            is already applied by the caller)."""
+
+    def attach_traffic(self, handler) -> None:
+        """Install an application-plane handler on every peer.
+
+        ``handler`` must provide ``handle(peer, payloads, ctx)`` (see
+        :class:`repro.traffic.plane.TrafficPlane`); it receives the
+        :class:`repro.netsim.messages.AppPayload` messages delivered to
+        each peer, after the peer's stabilization rules ran, and may emit
+        follow-up messages through ``ctx``.  Current and future peers are
+        wired; use :meth:`detach_traffic` to unhook.
+        """
+        self._traffic_handler = handler
+        for peer in self.peers.values():
+            peer.traffic = handler
+
+    def detach_traffic(self) -> None:
+        """Unhook the application plane from every peer.
+
+        Traffic still in flight is dropped at delivery (a null handler
+        replaces the plane), so outstanding operations simply time out.
+        """
+        handler = ReChordNetwork._NullTrafficHandler()
+        self._traffic_handler = handler
+        for peer in self.peers.values():
+            peer.traffic = handler
+
+    @property
+    def membership_version(self) -> int:
+        """Monotonic counter of membership events (join/leave/crash)."""
+        return self._membership_version
+
+    def view_version(self) -> Tuple[int, int, int]:
+        """Cheap staleness token for snapshot views of this network.
+
+        Changes whenever membership changes, an out-of-band topology
+        edit lands (:meth:`add_initial_edge` / :meth:`ensure_virtual`),
+        or a round executes — the events that can invalidate a
+        materialized routing view.  Snapshot consumers
+        (:class:`repro.dht.lookup.ReChordRouter`) compare it against
+        the version they were built at.  (Direct mutation of peer state
+        in tests is outside the token's contract until the next round.)
+        """
+        return (self._membership_version, self._mutation_version, self.scheduler.round_no)
 
     # ------------------------------------------------------------------
     # liveness oracle ([D7]/[D11])
@@ -526,6 +593,7 @@ class ReChordNetwork:
         del self.peers[peer_id]
         self.scheduler.remove_actor(peer_id)
         self._level_snapshot.pop(peer_id, None)
+        self._membership_version += 1
         if self.incremental:
             self._pending_refresh.discard(peer_id)
             # holders of references to the departed peer purge them at

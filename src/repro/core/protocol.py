@@ -47,7 +47,7 @@ from repro.core.events import (
 from repro.core.noderef import NodeRef
 from repro.core.rules import RuleConfig, RuleCounters
 from repro.core.state import LocalNode, PeerState
-from repro.netsim.messages import Envelope
+from repro.netsim.messages import AppPayload, Envelope
 from repro.netsim.scheduler import RoundContext
 
 #: liveness verdicts returned by the network's reference oracle
@@ -65,7 +65,7 @@ _KEY = attrgetter("_key")
 class ReChordPeer:
     """Actor running the Re-Chord rules for one peer."""
 
-    __slots__ = ("state", "config", "counters", "_ref_alive", "_replay_delta")
+    __slots__ = ("state", "config", "counters", "_ref_alive", "_replay_delta", "traffic")
 
     def __init__(
         self,
@@ -82,13 +82,21 @@ class ReChordPeer:
         #: by the activity-tracked scheduler so quiescent rounds keep the
         #: exact same rule-firing accounting as fully executed ones
         self._replay_delta: dict = {}
+        #: application-plane handler (see repro.traffic); installed by
+        #: ReChordNetwork.attach_traffic, None when no plane is attached
+        self.traffic = None
 
     # ------------------------------------------------------------------
     # actor entry point
     # ------------------------------------------------------------------
     def step(self, inbox: Sequence[Envelope], ctx: RoundContext) -> None:
-        """One synchronous round: apply inbox, purge, rules 1-6."""
+        """One synchronous round: apply inbox, purge, rules 1-6, traffic."""
         fires_before = dict(self.counters.fires)
+        app: Optional[List] = None
+        if self.traffic is not None:
+            app = [env.payload for env in inbox if isinstance(env.payload, AppPayload)]
+            if app:
+                inbox = [env for env in inbox if not isinstance(env.payload, AppPayload)]
         self._apply_inbox(inbox)
         self._purge()
         cfg = self.config
@@ -104,6 +112,11 @@ class ReChordPeer:
             self._rule5_ring(ctx)
         if cfg.connection:
             self._rule6_connection(ctx)
+        if app:
+            # one-shot inbox: this step's outbox and counter delta must
+            # not become a replay template (see AppPayload contract)
+            ctx.reexecute_next_round()
+            self.traffic.handle(self, app, ctx)
         fires = self.counters.fires
         self._replay_delta = {
             rule: count - fires_before.get(rule, 0)
@@ -145,6 +158,12 @@ class ReChordPeer:
                 self._deliver_edge(payload.target, payload.endpoint, KIND_UNMARKED)
             elif isinstance(payload, RealCandidate):
                 self._deliver_candidate(payload)
+            elif isinstance(payload, AppPayload):
+                raise TypeError(
+                    f"traffic payload {payload!r} delivered to peer "
+                    f"{self.state.peer_id} with no traffic plane attached "
+                    "(call ReChordNetwork.attach_traffic first)"
+                )
             else:  # pragma: no cover - protocol violation
                 raise TypeError(f"unknown payload {payload!r}")
 

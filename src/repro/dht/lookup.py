@@ -6,6 +6,26 @@ edges across all the peer's simulated nodes — these are exactly Chord's
 successor, predecessor and finger links by Fact 2.1) and walks the
 classic binary-search route.  Path lengths are O(log n) w.h.p. for random
 ids, which experiment E7 measures.
+
+Staleness: the materialized views are a snapshot, and silently routing a
+snapshot over a network that has since churned was a long-standing
+footgun (routes through dead peers, hop counts over vanished edges).
+The router now keys its cache on :meth:`ReChordNetwork.view_version` —
+a cheap token that moves on every membership event, every out-of-band
+topology edit, and every executed round — and checks it before each
+routed call:
+
+* ``mode="auto"`` (default) — transparently rebuild the views when the
+  network moved on;
+* ``mode="strict"`` — raise :class:`StaleViewError` instead, for
+  callers that want to control exactly which configuration they route
+  on (the experiments that route the *same* snapshot repeatedly);
+* ``mode="pin"`` — never rebuild, never raise: the explicit opt-in to
+  the historical snapshot semantics (measuring a frozen topology).
+
+For routing that participates in the simulation itself — requests
+traveling through the scheduler on each peer's live, possibly degraded
+view — use :mod:`repro.traffic` instead.
 """
 
 from __future__ import annotations
@@ -16,18 +36,31 @@ from repro.chord.routing import RouteResult, route_greedy
 from repro.core.network import ReChordNetwork
 from repro.idspace.keys import key_id
 
+#: accepted staleness policies
+ROUTER_MODES = ("auto", "strict", "pin")
+
+
+class StaleViewError(RuntimeError):
+    """A strict-mode router was asked to route on an outdated snapshot."""
+
 
 class ReChordRouter:
-    """Routing views over a (stable) Re-Chord network.
+    """Routing views over a Re-Chord network, cache-keyed on its version.
 
-    The view is a snapshot: rebuild the router (or call
-    :meth:`refresh`) after membership changes and re-stabilization.
+    The view is rebuilt (or rejected, per ``mode``) whenever the
+    network's :meth:`~ReChordNetwork.view_version` no longer matches the
+    one the views were built at; :meth:`refresh` remains available for
+    explicit rebuilds.
     """
 
-    def __init__(self, network: ReChordNetwork) -> None:
+    def __init__(self, network: ReChordNetwork, mode: str = "auto") -> None:
+        if mode not in ROUTER_MODES:
+            raise ValueError(f"unknown router mode {mode!r}; choose from {ROUTER_MODES}")
         self.network = network
         self.space = network.space
+        self.mode = mode
         self._views: Dict[int, Set[int]] = {}
+        self._built_at = None
         self.refresh()
 
     def refresh(self) -> None:
@@ -36,17 +69,41 @@ class ReChordRouter:
         for src, dst in self.network.rechord_projection():
             views[src].add(dst)
         self._views = views
+        #: membership *of the snapshot* — routing must stay internally
+        #: consistent (owner computed over the same peer set the views
+        #: cover), which matters for pin mode where the live network may
+        #: have moved on
+        self._peer_ids = sorted(views)
+        self._built_at = self.network.view_version()
+
+    def is_stale(self) -> bool:
+        """Whether the network moved on since the views were built."""
+        return self.network.view_version() != self._built_at
+
+    def _ensure_fresh(self) -> None:
+        if not self.is_stale() or self.mode == "pin":
+            return
+        if self.mode == "strict":
+            raise StaleViewError(
+                f"router views built at {self._built_at} but the network is at "
+                f"{self.network.view_version()}; call refresh() or use mode='auto'"
+            )
+        self.refresh()
 
     def neighbors(self, peer_id: int) -> Set[int]:
         """The peer's outgoing real-peer links (Chord view)."""
+        self._ensure_fresh()
         return self._views[peer_id]
 
     def route_id(self, start: int, target_id: int, max_hops: int = 512) -> RouteResult:
         """Greedy-route an identifier from ``start``."""
+        self._ensure_fresh()
+        if start not in self._views:
+            raise KeyError(f"peer {start} is not in the routing snapshot")
         return route_greedy(
             self.space,
-            self.network.peer_ids,
-            self.neighbors,
+            self._peer_ids,
+            self._views.__getitem__,
             start,
             target_id,
             max_hops=max_hops,
@@ -57,7 +114,9 @@ class ReChordRouter:
         return self.route_id(start, key_id(key, self.space), max_hops=max_hops)
 
     def owner_of(self, key: str) -> int:
-        """The peer responsible for ``key`` (no routing)."""
+        """The peer responsible for ``key`` under the snapshot's
+        membership (no routing)."""
         from repro.core.ideal import chord_successor
 
-        return chord_successor(self.space, self.network.peer_ids, key_id(key, self.space))
+        self._ensure_fresh()
+        return chord_successor(self.space, self._peer_ids, key_id(key, self.space))

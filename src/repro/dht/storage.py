@@ -109,6 +109,35 @@ class KeyValueStore:
             return 0
         return self.router.route_id(via, kid).hops
 
+    # ------------------------------------------------------------------
+    # in-band access (the traffic plane's storage backend)
+    # ------------------------------------------------------------------
+    def local_put(self, pid: int, kid: int, value: Any) -> None:
+        """Write ``kid`` into peer ``pid``'s local bucket.
+
+        Used by the traffic plane when a routed put request terminates
+        at ``pid``: the peer that *believes* it is
+        responsible stores the value — replica fan-out and corrective
+        moves happen out of band via :meth:`rebalance`, exactly like
+        Chord's key-migration step.
+        """
+        self._bucket(pid)[kid] = value
+        self.stats.puts += 1
+
+    def local_get(self, pid: int, kid: int) -> tuple:
+        """Read ``kid`` from peer ``pid``'s local bucket.
+
+        Returns ``(found, value)`` — the traffic plane surfaces a miss
+        as a ``notfound`` reply instead of an exception, because under
+        churn a miss at the believed owner is an expected outcome, not
+        an error.
+        """
+        self.stats.gets += 1
+        bucket = self._data.get(pid)
+        if bucket is not None and kid in bucket:
+            return True, bucket[kid]
+        return False, None
+
     def _bucket(self, pid: int) -> Dict[int, Any]:
         return self._data.setdefault(pid, {})
 

@@ -9,6 +9,26 @@ from typing import Any, Hashable, Sequence
 HASH_MASK = (1 << 64) - 1
 
 
+class AppPayload:
+    """Marker base for application-plane payloads (the traffic plane).
+
+    The kernel treats these like any other payload (buffered, delivered
+    at the round boundary, fingerprinted via ``canonical()``), but the
+    protocol layer routes them to the peer's attached traffic handler
+    instead of the stabilization rules.  Subclasses must provide
+    ``canonical()`` and ``refs()`` like the protocol payloads do.
+
+    Exactness contract (activity-tracked kernel): handlers may read the
+    peer's state, external stores and the message — never the liveness
+    oracle — and must not mutate overlay state.  Application messages
+    are *one-shot*, not steady flows, so the protocol layer forces any
+    actor that consumed one to execute (not replay) the following round,
+    keeping traffic emissions out of the steady-emission cache.
+    """
+
+    __slots__ = ()
+
+
 @dataclass(frozen=True)
 class Envelope:
     """A message in flight between two actors.

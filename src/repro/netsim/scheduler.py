@@ -116,6 +116,20 @@ class RoundContext:
         """
         return self._scheduler.has_actor(key)
 
+    def reexecute_next_round(self) -> None:
+        """Force this actor to execute (not replay) next round.
+
+        Required whenever the current step consumed or emitted a
+        *one-shot* message (application traffic): the steady-emission
+        cache would otherwise treat this step's outbox as a repeating
+        flow and replay it verbatim, and the cached rule-counter delta
+        would re-apply side effects that happened only once.  Executing
+        once more with the one-shot inbox gone re-baselines the cache,
+        and the resulting emission diff wakes the downstream receivers
+        of the vanished flow.
+        """
+        self._scheduler.mark_dirty(self.self_key)
+
 
 class SynchronousScheduler:
     """Drives a set of actors through synchronous rounds."""

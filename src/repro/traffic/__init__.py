@@ -1,0 +1,30 @@
+"""In-band traffic plane: live lookup/KV operations routed through the
+simulated overlay, concurrent with self-stabilization and churn.
+
+The subsystem has four parts:
+
+* :mod:`repro.traffic.messages` — hop-stamped request/reply payloads
+  that travel the synchronous scheduler alongside stabilization traffic;
+* :mod:`repro.traffic.plane` — injection, per-peer greedy forwarding on
+  each peer's *current* (possibly degraded) view, and completion;
+* :mod:`repro.traffic.generator` — seeded closed-loop workloads
+  (arrival rate, key popularity, op mix, deadlines);
+* :mod:`repro.traffic.slo` — latency histograms, outcome rates, and
+  monotonic-searchability violation counts.
+
+See ROADMAP.md "Engine internals — Traffic plane" for the exactness
+contract with the activity-tracked kernel.
+"""
+
+from repro.traffic.generator import WorkloadGenerator
+from repro.traffic.messages import LookupReply, LookupRequest
+from repro.traffic.plane import TrafficPlane
+from repro.traffic.slo import SLOCollector
+
+__all__ = [
+    "LookupReply",
+    "LookupRequest",
+    "SLOCollector",
+    "TrafficPlane",
+    "WorkloadGenerator",
+]

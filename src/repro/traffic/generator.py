@@ -1,0 +1,146 @@
+"""Closed-loop workload generation for the traffic plane.
+
+Arrivals are generated per round from a fractional-rate accumulator
+(rate 0.5 injects one op every other round; rate 8 injects eight per
+round), optionally throttled to a maximum number of outstanding
+operations — the closed loop: completions free slots, so the offered
+load adapts to what the (possibly churning) overlay can absorb.  Key
+popularity is uniform or Zipf over a fixed named-key universe, origins
+are uniform over *live* peers, and every draw comes from one seeded
+stream, so a schedule is exactly reproducible — the engine-equivalence
+tests drive two kernels with twin generators and compare fingerprints.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import Optional, Sequence, Tuple
+
+from repro.idspace.keys import key_id
+from repro.traffic.messages import OP_GET, OP_LOOKUP, OP_PUT
+from repro.traffic.plane import TrafficPlane
+
+#: popularity shapes
+POP_UNIFORM = "uniform"
+POP_ZIPF = "zipf"
+
+
+class WorkloadGenerator:
+    """Seeded per-round arrival process bound to one plane.
+
+    ``op_mix`` weights the operation kinds, e.g.
+    ``((OP_LOOKUP, 0.6), (OP_GET, 0.2), (OP_PUT, 0.2))``; puts carry
+    deterministic serial values so runs are comparable.  Construction
+    registers the generator on the plane (``plane.run_round`` calls
+    :meth:`inject` each round); set :attr:`active` to False to pause.
+    """
+
+    def __init__(
+        self,
+        plane: TrafficPlane,
+        rate: float = 2.0,
+        op_mix: Sequence[Tuple[str, float]] = ((OP_LOOKUP, 1.0),),
+        key_universe: int = 64,
+        popularity: str = POP_UNIFORM,
+        zipf_s: float = 1.1,
+        deadline: Optional[int] = None,
+        ttl: Optional[int] = None,
+        max_outstanding: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        if key_universe < 1:
+            raise ValueError("need at least one key")
+        for op, weight in op_mix:
+            if op not in (OP_LOOKUP, OP_GET, OP_PUT):
+                raise ValueError(f"unknown op {op!r} in mix")
+            if weight < 0:
+                raise ValueError("op weights must be non-negative")
+        if popularity not in (POP_UNIFORM, POP_ZIPF):
+            raise ValueError(f"unknown popularity {popularity!r}")
+        self.plane = plane
+        plane.generator = self
+        self.rate = float(rate)
+        self.deadline = deadline
+        self.ttl = ttl
+        self.max_outstanding = max_outstanding
+        self.rng = random.Random(seed)
+        self.keys: Tuple[str, ...] = tuple(f"key-{i}" for i in range(key_universe))
+        self.kids: Tuple[int, ...] = tuple(key_id(k, plane.net.space) for k in self.keys)
+        # cumulative popularity weights; None means uniform
+        self._cum: Optional[Tuple[float, ...]] = None
+        if popularity == POP_ZIPF:
+            acc, cum = 0.0, []
+            for rank in range(1, key_universe + 1):
+                acc += 1.0 / rank**zipf_s
+                cum.append(acc)
+            self._cum = tuple(cum)
+        total = sum(w for _, w in op_mix)
+        if total <= 0:
+            raise ValueError("op mix weights sum to zero")
+        acc, mix = 0.0, []
+        for op, weight in op_mix:
+            acc += weight / total
+            mix.append((acc, op))
+        self._mix: Tuple[Tuple[float, str], ...] = tuple(mix)
+        self._credit = 0.0
+        self._value_serial = 0
+        #: total ops handed to the plane
+        self.issued = 0
+        #: pause switch (drain phases leave the generator attached)
+        self.active = True
+
+    # ------------------------------------------------------------------
+    # draws
+    # ------------------------------------------------------------------
+    def draw_key(self) -> str:
+        """One key name from the popularity distribution."""
+        if self._cum is None:
+            return self.keys[self.rng.randrange(len(self.keys))]
+        x = self.rng.random() * self._cum[-1]
+        return self.keys[min(bisect_left(self._cum, x), len(self.keys) - 1)]
+
+    def draw_op(self) -> str:
+        """One operation kind from the mix."""
+        x = self.rng.random()
+        for edge, op in self._mix:
+            if x <= edge:
+                return op
+        return self._mix[-1][1]  # pragma: no cover - float edge
+
+    # ------------------------------------------------------------------
+    # the per-round arrival process
+    # ------------------------------------------------------------------
+    def inject(self) -> int:
+        """Issue this round's arrivals; returns how many were injected.
+
+        With ``max_outstanding`` set, arrivals beyond the free slots are
+        *dropped*, not queued — the closed loop throttles offered load
+        instead of building a retroactive burst.
+        """
+        if not self.active or self.rate == 0:
+            return 0
+        ids = self.plane.live_ids()
+        if not ids:
+            return 0
+        self._credit += self.rate
+        budget = int(self._credit)
+        self._credit -= budget
+        if self.max_outstanding is not None:
+            budget = min(
+                budget,
+                max(0, self.max_outstanding - self.plane.collector.outstanding_count()),
+            )
+        for _ in range(budget):
+            op = self.draw_op()
+            key = self.draw_key()
+            origin = self.rng.choice(ids)
+            value = None
+            if op == OP_PUT:
+                value = f"v{self._value_serial}"
+                self._value_serial += 1
+            self.plane.issue(op, key, origin, value=value, ttl=self.ttl, deadline=self.deadline)
+            self.issued += 1
+        return budget

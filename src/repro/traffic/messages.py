@@ -1,0 +1,128 @@
+"""In-band traffic messages: lookups and KV operations as first-class
+payloads routed *through* the simulated overlay.
+
+Unlike the snapshot router (:mod:`repro.dht.lookup`), these messages
+travel the :mod:`repro.netsim` scheduler alongside stabilization
+traffic: each peer forwards a request greedily using its **current**
+(possibly degraded) Re-Chord view, one hop per synchronous round.  A
+request is hop-stamped (``hops``) and carries the visited-peer ``path``
+as an explicit seen-set, so routing loops over corrupt views are
+detected in-band instead of burning the TTL.
+
+Payloads subclass :class:`repro.netsim.messages.AppPayload` and provide
+the same ``canonical()`` / ``refs()`` surface as the protocol events —
+in-flight traffic is part of the global configuration fingerprint, and
+the liveness-flip scans of the incremental engine enumerate every
+pending payload's refs.  Traffic messages carry peer *addresses* (plain
+ids), never :class:`NodeRef` s, and handlers never consult the liveness
+oracle, so ``refs()`` is empty: a membership flip cannot change what a
+receiver does with a traffic message, which keeps the dirty-set wake
+rules exact without extra scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Tuple
+
+from repro.netsim.messages import AppPayload
+
+#: operation kinds carried by requests
+OP_LOOKUP = "lookup"
+OP_GET = "get"
+OP_PUT = "put"
+
+#: terminal statuses stamped on replies (in-band failures included)
+ST_OK = "ok"
+ST_NOTFOUND = "notfound"
+ST_LOOP = "loop"
+ST_TTL = "ttl"
+ST_DEAD_END = "dead_end"
+
+#: collector-side outcomes that never ride a reply message
+OUT_TIMEOUT = "timeout"
+OUT_MISROUTE = "misroute"
+OUT_ORIGIN_DEAD = "origin_dead"
+
+
+@dataclass(frozen=True)
+class LookupRequest(AppPayload):
+    """A routed operation in flight toward the peer responsible for
+    ``kid``.
+
+    ``op`` selects lookup/get/put semantics at the terminal peer;
+    ``origin`` is the peer awaiting the reply; ``path`` lists every peer
+    that has held the request (origin first) and doubles as the
+    loop-detection seen-set; ``value`` is the payload of put requests.
+    """
+
+    op: str
+    op_id: int
+    origin: int
+    kid: int
+    ttl: int
+    hops: int = 0
+    path: Tuple[int, ...] = ()
+    value: Any = None
+
+    def forwarded(self, next_hop: int) -> "LookupRequest":
+        """The hop-stamped copy sent to ``next_hop``."""
+        return replace(self, hops=self.hops + 1, path=self.path + (next_hop,))
+
+    def canonical(self) -> tuple:
+        """Sortable identity tuple for fingerprints."""
+        return (
+            "traffic-req",
+            self.op,
+            self.op_id,
+            self.origin,
+            self.kid,
+            self.ttl,
+            self.hops,
+            self.path,
+            repr(self.value),
+        )
+
+    def refs(self) -> tuple:
+        """Traffic carries peer addresses, not node refs (see module doc)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class LookupReply(AppPayload):
+    """Terminal verdict of one request, sent straight back to the origin.
+
+    ``owner`` is the peer that terminated the request (the self-believed
+    responsible peer for ``ok``/``notfound``, the peer where forwarding
+    failed otherwise); ``hops`` is the request's hop stamp at
+    termination.  The reply uses the origin address carried by the
+    request — the connection-layer direct response, one round — so
+    latency measures the *forward* routing path.
+    """
+
+    op: str
+    op_id: int
+    origin: int
+    kid: int
+    status: str
+    owner: int
+    hops: int
+    value: Any = None
+
+    def canonical(self) -> tuple:
+        """Sortable identity tuple for fingerprints."""
+        return (
+            "traffic-rep",
+            self.op,
+            self.op_id,
+            self.origin,
+            self.kid,
+            self.status,
+            self.owner,
+            self.hops,
+            repr(self.value),
+        )
+
+    def refs(self) -> tuple:
+        """Traffic carries peer addresses, not node refs (see module doc)."""
+        return ()

@@ -1,0 +1,375 @@
+"""The traffic plane: live lookup/KV operations routed *through* the
+simulated overlay, concurrent with self-stabilization.
+
+The snapshot router (:mod:`repro.dht.lookup`) answers "could this
+network route?" on a frozen view; this subsystem answers the question
+the paper actually poses — the overlay self-stabilizes *while being
+used*.  Operations are injected as :class:`LookupRequest` messages at
+their origin peer, travel the :mod:`repro.netsim` scheduler alongside
+stabilization traffic (one hop per synchronous round), and every peer
+forwards them greedily using its **current** — possibly degraded —
+Re-Chord view: the real-peer endpoints of its unmarked, ring and wrap
+edges, exactly the per-peer slice of ``rechord_projection()``.
+
+Kernel integration (the exactness contract the engine-equivalence suite
+enforces):
+
+* traffic payloads ride ordinary envelopes, so in-flight requests are
+  part of the configuration fingerprint and of the scheduler's rolling
+  pending-hash — no side channel;
+* a peer holding an in-flight request is *active* by construction: the
+  sender's emission diff (or the injection ``post()``) marks the
+  receiver dirty, so a request is always consumed by an executed step,
+  never swallowed by a replay inbox-clear;
+* traffic is one-shot, not a steady flow, so the protocol layer forces
+  every traffic-touched peer to execute once more the following round
+  (:meth:`RoundContext.reexecute_next_round`): the steady-emission
+  cache never contains a traffic message, and the resulting emission
+  diff wakes the downstream receiver of the vanished flow;
+* handlers read only ``(peer state, message, store)`` — never the
+  liveness oracle — and never mutate overlay state, so no additional
+  wake rules are needed and ``refs()`` of traffic payloads is empty.
+
+Forwarding semantics (mirrors :func:`repro.chord.routing.route_greedy`,
+but with purely local termination): a peer answers a request itself when
+the key lies in ``(pred, self]`` for its *believed* predecessor (its
+closest-real-left pointer, falling back to the wrap pointer at the ring
+seam); otherwise it forwards to the known neighbor making the most
+clockwise progress without overshooting, falling back to its closest
+clockwise neighbor.  Degraded views can therefore misroute (answered by
+a peer that is not the true successor), loop (caught by the request's
+seen-set) or dead-end — all surfaced as distinct outcomes by the
+:class:`repro.traffic.slo.SLOCollector`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Set
+
+from repro.idspace.keys import key_id
+from repro.netsim.messages import Envelope
+from repro.netsim.scheduler import RoundContext
+from repro.traffic.messages import (
+    OP_GET,
+    OP_LOOKUP,
+    OP_PUT,
+    ST_DEAD_END,
+    ST_LOOP,
+    ST_NOTFOUND,
+    ST_OK,
+    ST_TTL,
+    LookupReply,
+    LookupRequest,
+)
+from repro.traffic.slo import IssuedOp, SLOCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.network import ReChordNetwork
+    from repro.core.protocol import ReChordPeer
+    from repro.dht.storage import KeyValueStore
+
+
+class TrafficPlane:
+    """Owns injection, per-peer forwarding, and completion accounting.
+
+    Construction attaches the plane to the network (every current and
+    future peer dispatches traffic payloads here).  ``store`` backs the
+    in-band ``put``/``get`` operations with per-peer buckets
+    (:meth:`KeyValueStore.local_put` / :meth:`~KeyValueStore.local_get`)
+    and is required only when KV traffic is issued.
+    """
+
+    def __init__(
+        self,
+        net: "ReChordNetwork",
+        store: Optional["KeyValueStore"] = None,
+        default_ttl: Optional[int] = None,
+        default_deadline: int = 48,
+    ) -> None:
+        self.net = net
+        self.store = store
+        self.collector = SLOCollector(self.true_owner)
+        #: optional workload generator driven by run_round()
+        self.generator = None
+        self.default_deadline = default_deadline
+        self._default_ttl = default_ttl
+        self._next_op_id = 0
+        #: sorted live ids cached per membership version (one completion
+        #: classification per op must not pay an O(n log n) sort)
+        self._live_cache: tuple = (-1, [])
+        net.attach_traffic(self)
+
+    def detach(self) -> None:
+        """Unhook from the network (outstanding ops will time out).
+
+        An attached generator is paused too — injecting into a detached
+        plane would only manufacture phantom timeouts.
+        """
+        if self.generator is not None:
+            self.generator.active = False
+        self.net.detach_traffic()
+
+    # ------------------------------------------------------------------
+    # oracle helpers (accounting only — never consulted by forwarding)
+    # ------------------------------------------------------------------
+    def live_ids(self) -> list:
+        """Sorted live peer ids, cached per membership version.
+
+        Shared by completion classification and the workload generator
+        so quiescent traffic rounds never pay an O(n log n) re-sort.
+        """
+        version = self.net.membership_version
+        if self._live_cache[0] != version:
+            self._live_cache = (version, self.net.peer_ids)  # already sorted
+        return self._live_cache[1]
+
+    def true_owner(self, kid: int) -> Optional[int]:
+        """The peer responsible for ``kid`` under current membership.
+
+        Equivalent to :func:`chord_successor` (first peer at-or-after
+        ``kid``, wrapping), but O(log n) per call: one bisect over the
+        cached sorted id list — completions are classified once per op
+        and must not pay a linear scan each.
+        """
+        ids = self.live_ids()
+        if not ids:
+            return None
+        i = bisect_left(ids, kid)
+        return ids[i] if i < len(ids) else ids[0]
+
+    def ttl_for(self) -> int:
+        """Default TTL: generous multiple of the O(log n) path bound."""
+        if self._default_ttl is not None:
+            return self._default_ttl
+        n = max(2, len(self.net.peers))
+        return 4 * n.bit_length() + 16
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        op: str,
+        key: "str | bytes | int",
+        origin: int,
+        value: Any = None,
+        ttl: Optional[int] = None,
+        deadline: Optional[int] = None,
+    ) -> int:
+        """Inject one operation at ``origin``; returns the op id.
+
+        ``key`` is a name (consistent-hashed) or a raw position on the
+        circle.  The request is posted into the origin's own inbox — the
+        op "arrives" at the peer like any other message and is forwarded
+        from there, so a dead origin fails the op immediately
+        (``origin_dead``) and a crashed origin later strands the reply
+        (``timeout``).
+        """
+        if op not in (OP_LOOKUP, OP_GET, OP_PUT):
+            raise ValueError(f"unknown traffic op {op!r}")
+        if op in (OP_GET, OP_PUT) and self.store is None:
+            raise RuntimeError("KV traffic needs a store: TrafficPlane(net, store=...)")
+        kid = key if isinstance(key, int) else key_id(key, self.net.space)
+        self.net.space.check_id(kid)
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        issue_round = self.net.round_no
+        issued = IssuedOp(
+            op_id=op_id,
+            op=op,
+            origin=origin,
+            kid=kid,
+            issue_round=issue_round,
+            deadline=issue_round + (deadline if deadline is not None else self.default_deadline),
+        )
+        request = LookupRequest(
+            op=op,
+            op_id=op_id,
+            origin=origin,
+            kid=kid,
+            ttl=ttl if ttl is not None else self.ttl_for(),
+            hops=0,
+            path=(origin,),
+            value=value,
+        )
+        if self.net.scheduler.post(Envelope(origin, origin, request)):
+            self.collector.register(issued)
+        else:
+            self.collector.fail_unissued(issued, issue_round)
+        return op_id
+
+    def lookup(self, key: "str | bytes | int", origin: int, **kw: Any) -> int:
+        """Inject a lookup for ``key`` at ``origin``."""
+        return self.issue(OP_LOOKUP, key, origin, **kw)
+
+    def put(self, key: "str | bytes | int", value: Any, origin: int, **kw: Any) -> int:
+        """Inject an in-band put at ``origin``."""
+        return self.issue(OP_PUT, key, origin, value=value, **kw)
+
+    def get(self, key: "str | bytes | int", origin: int, **kw: Any) -> int:
+        """Inject an in-band get at ``origin``."""
+        return self.issue(OP_GET, key, origin, **kw)
+
+    # ------------------------------------------------------------------
+    # per-peer handler (called from ReChordPeer.step)
+    # ------------------------------------------------------------------
+    def handle(self, peer: "ReChordPeer", payloads: Sequence[Any], ctx: RoundContext) -> None:
+        """Process the traffic payloads delivered to one peer this round."""
+        view: Optional[Sequence[int]] = None
+        for payload in payloads:
+            if isinstance(payload, LookupRequest):
+                if view is None:
+                    # the overlay state cannot change mid-step after the
+                    # rules ran: one sorted view serves every request
+                    view = sorted(self._local_view(peer.state))
+                self._handle_request(peer, payload, ctx, view)
+            elif isinstance(payload, LookupReply):
+                self._handle_reply(payload, ctx)
+            else:  # pragma: no cover - protocol violation
+                raise TypeError(f"unknown traffic payload {payload!r}")
+
+    def _handle_reply(self, reply: LookupReply, ctx: RoundContext) -> None:
+        if reply.origin != ctx.self_key:  # pragma: no cover - misrouted
+            raise LookupError(f"reply for {reply.origin} delivered to {ctx.self_key}")
+        self.collector.on_reply(reply, ctx.round_no)
+
+    def _handle_request(
+        self, peer: "ReChordPeer", req: LookupRequest, ctx: RoundContext, view: Sequence[int]
+    ) -> None:
+        state = peer.state
+        me = state.peer_id
+        space = state.space
+        node0 = state.nodes[0]
+        # believed predecessor: the closest real neighbor to the left,
+        # falling back to the wrap pointer at the ring seam [D6]
+        pred = node0.rl if node0.rl is not None else node0.wrap_rl
+        if pred is None or pred.owner == me or space.between_open_closed(pred.owner, req.kid, me):
+            self._terminal(me, req, ctx)
+            return
+        if not view:
+            self._reply(req, ST_DEAD_END, me, ctx)
+            return
+        best: Optional[int] = None
+        best_d = space.distance_cw(me, req.kid)
+        for cand in view:  # pre-sorted by handle()
+            if space.between_open_closed(me, cand, req.kid):
+                d = space.distance_cw(cand, req.kid)
+                if d < best_d:
+                    best, best_d = cand, d
+        if best is None:
+            # the key lies between us and every known neighbor: hand the
+            # request to our closest clockwise neighbor (the believed
+            # successor), who should find itself responsible
+            best = min(view, key=lambda c: space.distance_cw(me, c))
+        if best in req.path:
+            self._reply(req, ST_LOOP, me, ctx)
+            return
+        if req.hops + 1 > req.ttl:
+            self._reply(req, ST_TTL, me, ctx)
+            return
+        ctx.send(best, req.forwarded(best))
+
+    def _terminal(self, me: int, req: LookupRequest, ctx: RoundContext) -> None:
+        """Execute the operation at the self-believed responsible peer."""
+        # classification accounting (external to the simulation — not
+        # part of the message, so handler emissions stay a pure function
+        # of peer state + payload): sample who is really responsible NOW,
+        # while the answer is produced; churn during the reply's transit
+        # round must not reclassify a correct answer as a misroute
+        self.collector.note_answer_truth(req.op_id, self.true_owner(req.kid))
+        value = None
+        if req.op == OP_PUT:
+            if self.store is None:  # pragma: no cover - guarded at issue
+                raise RuntimeError("put arrived with no store attached")
+            self.store.local_put(me, req.kid, req.value)
+            status = ST_OK
+        elif req.op == OP_GET:
+            if self.store is None:  # pragma: no cover - guarded at issue
+                raise RuntimeError("get arrived with no store attached")
+            found, value = self.store.local_get(me, req.kid)
+            status = ST_OK if found else ST_NOTFOUND
+        else:
+            status = ST_OK
+        self._reply(req, status, me, ctx, value)
+
+    def _reply(
+        self,
+        req: LookupRequest,
+        status: str,
+        owner: int,
+        ctx: RoundContext,
+        value: Any = None,
+    ) -> None:
+        reply = LookupReply(
+            op=req.op,
+            op_id=req.op_id,
+            origin=req.origin,
+            kid=req.kid,
+            status=status,
+            owner=owner,
+            hops=req.hops,
+            value=value,
+        )
+        if req.origin == ctx.self_key:
+            # terminated at the origin itself: complete without a message
+            self.collector.on_reply(reply, ctx.round_no)
+        else:
+            ctx.send(req.origin, reply)
+
+    @staticmethod
+    def _local_view(state) -> Set[int]:
+        """The peer's outgoing Re-Chord view: real-peer endpoints of its
+        unmarked, ring and wrap edges across all simulated nodes (the
+        per-peer slice of ``rechord_projection()``)."""
+        me = state.peer_id
+        view: Set[int] = set()
+        for node in state.nodes.values():
+            for ref in node.nu:
+                if ref.is_real and ref.owner != me:
+                    view.add(ref.owner)
+            for ref in node.nr:
+                if ref.is_real and ref.owner != me:
+                    view.add(ref.owner)
+            for ref in node.wrap_refs():
+                if ref.is_real and ref.owner != me:
+                    view.add(ref.owner)
+        return view
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run_round(self) -> None:
+        """One round of the traffic-carrying network.
+
+        Injects the generator's arrivals for this round (if a generator
+        is attached), executes one synchronous round, then sweeps
+        deadline expirations.
+        """
+        if self.generator is not None:
+            self.generator.inject()
+        self.net.run_round()
+        self.collector.expire(self.net.round_no)
+
+    def run(self, rounds: int) -> None:
+        """Execute ``rounds`` traffic-carrying rounds."""
+        for _ in range(rounds):
+            self.run_round()
+
+    def drain(self, max_rounds: int = 512) -> int:
+        """Run without new injections until no op is outstanding.
+
+        Deadlines bound this loop; raises if ops are still outstanding
+        after ``max_rounds`` (a stuck ledger is a bug, not a timeout).
+        """
+        executed = 0
+        while self.collector.outstanding:
+            if executed >= max_rounds:
+                raise RuntimeError(
+                    f"{len(self.collector.outstanding)} ops still outstanding "
+                    f"after {executed} rounds"
+                )
+            self.net.run_round()
+            self.collector.expire(self.net.round_no)
+            executed += 1
+        return executed

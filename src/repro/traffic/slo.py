@@ -1,0 +1,247 @@
+"""SLO accounting for the in-band traffic plane.
+
+The collector owns the ledger of issued operations: it matches replies
+to registrations, classifies outcomes, sweeps deadline expirations, and
+maintains the derived service-level metrics the experiments report —
+latency-in-rounds histograms, success/timeout/misroute rates, and
+**monotonic-searchability violations** (Scheideler/Setzer/Strothmann):
+a request for ``(origin, kid)`` failing after an earlier identical
+request succeeded.  Under churn a violation can be legitimate (the
+responsible peer crashed); the counter measures how often the overlay
+breaks the guarantee, which is exactly what the churn experiment plots.
+
+Outcome taxonomy (one per completed op):
+
+* ``ok`` / ``notfound`` — the request terminated at the peer that really
+  is responsible for the key (``notfound``: a get whose key had no local
+  value there);
+* ``misroute`` — a peer *believed* it was responsible and answered, but
+  the true successor (current membership) is someone else;
+* ``loop`` / ``ttl`` / ``dead_end`` — in-band routing failures stamped
+  by the forwarding peer;
+* ``timeout`` — no reply before the op's deadline round (includes
+  messages dropped at crashed peers);
+* ``origin_dead`` — the op was issued at a peer that no longer exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.traffic.messages import (
+    OUT_MISROUTE,
+    OUT_ORIGIN_DEAD,
+    OUT_TIMEOUT,
+    ST_NOTFOUND,
+    ST_OK,
+    LookupReply,
+)
+
+#: outcomes that count as a successful search (reached the true owner)
+ROUTED_OUTCOMES = (ST_OK, ST_NOTFOUND)
+
+
+@dataclass(frozen=True)
+class IssuedOp:
+    """Registration of one in-flight operation."""
+
+    op_id: int
+    op: str
+    origin: int
+    kid: int
+    issue_round: int
+    deadline: int
+
+
+@dataclass(frozen=True)
+class CompletedOp:
+    """Terminal record of one operation (kept for offline analysis)."""
+
+    op_id: int
+    op: str
+    origin: int
+    kid: int
+    issue_round: int
+    complete_round: int
+    outcome: str
+    hops: Optional[int]
+    value: object = None
+
+    @property
+    def latency(self) -> int:
+        """Rounds from issue to completion (deadline span for timeouts)."""
+        return self.complete_round - self.issue_round
+
+    @property
+    def routed(self) -> bool:
+        """Whether the request reached the true responsible peer."""
+        return self.outcome in ROUTED_OUTCOMES
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+def latency_histogram(
+    values: Sequence[int],
+    bounds: Optional[Sequence[int]] = None,
+) -> List[Tuple[str, int]]:
+    """Bucketed latency counts, ``bounds`` are inclusive upper edges.
+
+    Defaults to power-of-two edges up to 256 rounds plus an overflow
+    bucket, the shape used by every traffic report in this repo.
+    """
+    if bounds is None:
+        bounds = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    buckets = [0] * (len(bounds) + 1)
+    for v in values:
+        for i, edge in enumerate(bounds):
+            if v <= edge:
+                buckets[i] += 1
+                break
+        else:
+            buckets[-1] += 1
+    labels = [f"<={edge}" for edge in bounds] + [f">{bounds[-1]}"]
+    return list(zip(labels, buckets))
+
+
+class SLOCollector:
+    """Ledger + metrics for the traffic plane.
+
+    ``true_owner`` maps a key id to the currently responsible peer (the
+    plane supplies ``chord_successor`` over live membership); it is
+    consulted once per completion, so classification always reflects the
+    membership at completion time.
+    """
+
+    def __init__(self, true_owner: Callable[[int], Optional[int]]) -> None:
+        self._true_owner = true_owner
+        self.outstanding: Dict[int, IssuedOp] = {}
+        self.completed: List[CompletedOp] = []
+        self.outcomes: Dict[str, int] = {}
+        #: replies that arrived after their op already timed out
+        self.late_replies = 0
+        #: (origin, kid) pairs with at least one successful search
+        self._succeeded_once: set = set()
+        #: recorded monotonic-searchability violations
+        self.violations: List[CompletedOp] = []
+        #: truth sampled when the terminal peer *answered* (the plane
+        #: records it per op); replies transit for a round, and churn in
+        #: that round must not turn a correct answer into a "misroute"
+        self._answer_truth: Dict[int, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    # ledger
+    # ------------------------------------------------------------------
+    def register(self, issued: IssuedOp) -> None:
+        """Track a newly injected operation."""
+        if issued.op_id in self.outstanding:
+            raise ValueError(f"duplicate op id {issued.op_id}")
+        self.outstanding[issued.op_id] = issued
+
+    def outstanding_count(self) -> int:
+        """Operations in flight (closed-loop generators throttle on this)."""
+        return len(self.outstanding)
+
+    def note_answer_truth(self, op_id: int, truth: Optional[int]) -> None:
+        """Record who was *really* responsible when the op was answered."""
+        self._answer_truth[op_id] = truth
+
+    def on_reply(self, reply: LookupReply, round_no: int) -> None:
+        """Record a reply consumed by its origin peer during ``round_no``."""
+        issued = self.outstanding.pop(reply.op_id, None)
+        if issued is None:
+            self.late_replies += 1
+            self._answer_truth.pop(reply.op_id, None)
+            return
+        if reply.status in ROUTED_OUTCOMES:
+            if reply.op_id in self._answer_truth:
+                truth = self._answer_truth[reply.op_id]
+            else:
+                truth = self._true_owner(reply.kid)
+            outcome = reply.status if reply.owner == truth else OUT_MISROUTE
+        else:
+            outcome = reply.status
+        self._complete(issued, round_no, outcome, reply.hops, reply.value)
+
+    def fail_unissued(self, issued: IssuedOp, round_no: int) -> None:
+        """The op could not even be injected (origin not registered)."""
+        self._complete(issued, round_no, OUT_ORIGIN_DEAD, None)
+
+    def expire(self, round_no: int) -> int:
+        """Time out every outstanding op whose deadline has passed."""
+        due = [op for op in self.outstanding.values() if op.deadline <= round_no]
+        for issued in due:
+            del self.outstanding[issued.op_id]
+            self._complete(issued, round_no, OUT_TIMEOUT, None)
+        return len(due)
+
+    def _complete(
+        self,
+        issued: IssuedOp,
+        round_no: int,
+        outcome: str,
+        hops: Optional[int],
+        value: object = None,
+    ) -> None:
+        self._answer_truth.pop(issued.op_id, None)
+        record = CompletedOp(
+            op_id=issued.op_id,
+            op=issued.op,
+            origin=issued.origin,
+            kid=issued.kid,
+            issue_round=issued.issue_round,
+            complete_round=round_no,
+            outcome=outcome,
+            hops=hops,
+            value=value,
+        )
+        self.completed.append(record)
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        key = (issued.origin, issued.kid)
+        if record.routed:
+            self._succeeded_once.add(key)
+        elif key in self._succeeded_once:
+            self.violations.append(record)
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    def routed_latencies(self) -> List[int]:
+        """Latencies (rounds) of successfully routed operations."""
+        return [c.latency for c in self.completed if c.routed]
+
+    def success_rate(self) -> float:
+        """Fraction of completed ops that reached the true owner."""
+        if not self.completed:
+            return 1.0
+        return sum(1 for c in self.completed if c.routed) / len(self.completed)
+
+    def summary(self) -> dict:
+        """Flat metrics dict (stable keys, used by tests and benches)."""
+        lats = self.routed_latencies()
+        hops = [c.hops for c in self.completed if c.hops is not None]
+        out = {
+            "issued": len(self.completed) + len(self.outstanding),
+            "completed": len(self.completed),
+            "outstanding": len(self.outstanding),
+            "success_rate": round(self.success_rate(), 4),
+            "violations": len(self.violations),
+            "late_replies": self.late_replies,
+            "outcomes": dict(sorted(self.outcomes.items())),
+        }
+        if lats:
+            out["latency_mean"] = round(sum(lats) / len(lats), 2)
+            out["latency_p95"] = percentile(lats, 95)
+            out["latency_max"] = max(lats)
+        if hops:
+            out["hops_mean"] = round(sum(hops) / len(hops), 2)
+            out["hops_max"] = max(hops)
+        return out

@@ -47,6 +47,13 @@ class TestCli:
         assert code == 0
         assert "Lemmas" in capsys.readouterr().out
 
+    def test_traffic_tiny(self, capsys):
+        code = main(["traffic", "--sizes", "10", "--seeds", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds-since-churn" in out
+        assert "violations" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -121,3 +121,32 @@ class TestFigureModules:
         assert profile.total == sum(profile.series)
         out = format_messages(profile)
         assert "msgs/round" in out
+
+
+class TestTrafficExperiment:
+    def test_traffic_churn_profile(self):
+        from repro.experiments.traffic import format_traffic, run_traffic, runs_to_json
+
+        runs = run_traffic(sizes=(12,), seeds=1, root_seed=5)
+        (run,) = runs
+        assert run.n == 12
+        assert sum(run.churn_events.values()) >= 4
+        assert run.buckets, "no ops completed"
+        assert sum(row.issued for row in run.buckets) == run.totals["completed"]
+        assert run.totals["outstanding"] == 0  # the run drains fully
+        assert 0.0 <= run.totals["success_rate"] <= 1.0
+        text = format_traffic(runs)
+        assert "rounds-since-churn" in text
+        assert "latency histogram" in text
+        blob = runs_to_json(runs)
+        import json
+
+        json.dumps(blob)  # must be serializable
+        assert blob["runs"][0]["n"] == 12
+
+    def test_traffic_deterministic_per_seed(self):
+        from repro.experiments.traffic import run_traffic, runs_to_json
+
+        a = runs_to_json(run_traffic(sizes=(10,), seeds=1, root_seed=9))
+        b = runs_to_json(run_traffic(sizes=(10,), seeds=1, root_seed=9))
+        assert a == b
