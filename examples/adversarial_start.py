@@ -1,55 +1,75 @@
 #!/usr/bin/env python
-"""Self-stabilization from adversarial initial states.
+"""Self-stabilization from adversarial initial states — as scenarios.
 
 Theorem 1.1 promises recovery from *any* weakly connected start.  This
-example throws the worst shapes we have at the protocol — a line (the
-slowest information spreader), a star, two bridged cliques, a lollipop,
-a heavily corrupted state full of garbage marked edges and phantom
-virtual nodes, and the interleaved two-ring split that permanently
-breaks classic Chord — and shows each one converging to the exact ideal
-topology.  The classic-Chord contrast is printed last.
+example expresses the worst starts we have as declarative scenario
+campaigns (see ``docs/SCENARIOS.md``): degenerate shapes (the line is
+the slowest information spreader), a heavily corrupted random graph,
+and the interleaved two-ring split that permanently breaks classic
+Chord — each one runs with live traffic and must converge to the exact
+ideal topology.  The classic-Chord contrast is printed last.
 
 Run:  python examples/adversarial_start.py
 """
 
-from repro.chord.network import ChordNetwork
-from repro.experiments.baseline import _rechord_two_rings
-from repro.idspace.ring import IdSpace
-from repro.workloads.initial import (
-    SHAPES,
-    build_random_network,
-    build_shaped_network,
-    corrupt_network,
-    random_peer_ids,
-)
 import random
 
+from repro.chord.network import ChordNetwork
+from repro.idspace.ring import IdSpace
+from repro.scenarios import ScenarioSpec, TrafficSpec, make_scenario, run_scenario
+from repro.workloads.initial import SHAPES, random_peer_ids
+
 N = 18
+TRAFFIC = TrafficSpec(rate=1.0)
 
 
-def show(label: str, net) -> None:
-    report = net.run_until_stable(max_rounds=5000)
-    ok = net.matches_ideal()
-    print(f"{label:<26} stable@{report.rounds_to_stable:>3}  ideal={ok}")
-    assert ok
+def show(spec: ScenarioSpec) -> None:
+    report = run_scenario(spec)
+    slo = report.slo or {}
+    print(
+        f"{spec.name:<26} stable@{report.rounds_adversity + report.recovery_rounds:>3}"
+        f"  ideal={report.ideal}  lookups ok={slo.get('success_rate', 1.0):.0%}"
+    )
+    assert report.stable and report.ideal
 
 
 def main() -> None:
+    # every degenerate shape, with lookups flowing from round 0
     for shape in sorted(SHAPES):
-        show(f"shape: {shape}", build_shaped_network(shape, N, seed=5))
+        show(
+            ScenarioSpec(
+                name=f"shape: {shape}", n=N, seed=5, start=shape,
+                rounds=8, traffic=TRAFFIC,
+            )
+        )
 
-    net = build_random_network(n=N, seed=5)
-    corrupt_network(net, seed=99, virtual_fraction=1.0, garbage_edges=10)
-    show("heavy corruption", net)
+    # a random start buried under garbage edges and phantom virtuals
+    show(
+        ScenarioSpec(
+            name="heavy corruption", n=N, seed=5, start="random",
+            start_params={"corrupt": {"virtual_fraction": 1.0, "garbage_edges": 10}},
+            rounds=8, traffic=TRAFFIC,
+        )
+    )
 
-    space = IdSpace()
-    ids = random_peer_ids(N, random.Random(3), space)
-    show("two interleaved rings", _rechord_two_rings(ids, space))
+    # the interleaved rings: as an initial state, and as a mid-run reset
+    show(
+        ScenarioSpec(
+            name="two interleaved rings", n=N, seed=3, start="two_rings",
+            rounds=8, traffic=TRAFFIC,
+        )
+    )
+    show(make_scenario("ring-split", n=N, seed=3))
 
     # classic Chord never repairs the equivalent split
+    space = IdSpace()
+    ids = random_peer_ids(N, random.Random(3), space)
     chord = ChordNetwork.two_rings(ids, space, fingers_per_round=2)
     chord.run(400)
-    print(f"{'classic Chord, same split':<26} after 400 rounds: ring_correct={chord.ring_correct()}")
+    print(
+        f"{'classic Chord, same split':<26} after 400 rounds: "
+        f"ring_correct={chord.ring_correct()}"
+    )
     assert not chord.ring_correct()
 
 

@@ -1,50 +1,59 @@
 #!/usr/bin/env python
 """Churn recovery: the overlay self-heals through joins, leaves, crashes.
 
-Scenario from the paper's Section 4: a stable 24-peer network endures a
-burst of membership events — a crash of a ring-extreme peer (the hardest
-case: it holds a seam ring edge), two graceful leaves, and three joins —
-and returns to the exact ideal topology after each wave.
+The paper's Section 4 dynamics, expressed as one declarative scenario
+campaign (see ``docs/SCENARIOS.md``): a stable 24-peer network endures
+a crash of both ring-seam extremes (the hardest case: they hold the
+seam ring edge and the wrap pointers), a wave of graceful leaves and a
+flash crowd of joins — with lookups and KV operations flowing the whole
+time — and returns to the exact ideal topology.
 
 Run:  python examples/churn_recovery.py
 """
 
-import random
+from repro.scenarios import EventSpec, ScenarioSpec, TrafficSpec, run_scenario
+from repro.traffic.messages import OP_GET, OP_LOOKUP, OP_PUT
 
-from repro import build_random_network
-from repro.workloads.initial import random_peer_ids
-
-
-def stabilize(net, label: str) -> None:
-    report = net.run_until_stable(max_rounds=5000)
-    ok = net.matches_ideal()
-    print(f"{label:<28} -> stable after {report.rounds_to_stable:>3} rounds, ideal={ok}")
-    assert ok
+SPEC = ScenarioSpec(
+    name="churn-recovery",
+    n=24,
+    seed=7,
+    start="ideal",
+    rounds=30,
+    events=(
+        EventSpec(at=4, kind="crash_wave", params={"count": 2, "targeting": "extremes"}),
+        EventSpec(at=12, kind="leave_wave", params={"count": 2}),
+        EventSpec(at=20, kind="flash_crowd", params={"count": 3}),
+    ),
+    traffic=TrafficSpec(
+        rate=1.5,
+        op_mix=((OP_LOOKUP, 0.6), (OP_GET, 0.2), (OP_PUT, 0.2)),
+    ),
+    description="Section 4 churn waves with live traffic",
+)
 
 
 def main() -> None:
-    rng = random.Random(7)
-    net = build_random_network(n=24, seed=7)
-    stabilize(net, "initial stabilization")
-
-    # crash the largest peer: it owns the seam-holding max node
-    net.crash(net.peer_ids[-1])
-    stabilize(net, "crash of ring-extreme peer")
-
-    for _ in range(2):
-        victim = rng.choice(net.peer_ids)
-        net.leave(victim)
-        stabilize(net, f"graceful leave of {victim % 10_000}…")
-
-    for _ in range(3):
-        new_id = random_peer_ids(1, rng, net.space)[0]
-        while new_id in net.peers:
-            new_id = random_peer_ids(1, rng, net.space)[0]
-        gateway = rng.choice(net.peer_ids)
-        net.join(new_id, gateway)
-        stabilize(net, f"join of {new_id % 10_000}…")
-
-    print(f"final network : {len(net.peers)} peers, all invariants hold")
+    report = run_scenario(SPEC)
+    print(f"campaign: {SPEC.name} (n={SPEC.n}, seed={SPEC.seed})")
+    print(f"events applied        : {dict(report.event_census)}")
+    print(f"peers                 : {report.peers_start} -> {report.peers_final}")
+    print(
+        f"recovery              : stable {report.recovery_rounds} rounds after "
+        f"the last wave, ideal={report.ideal}"
+    )
+    slo = report.slo
+    print(
+        f"traffic under churn   : {slo['completed']} ops, "
+        f"{slo['success_rate']:.1%} success, outcomes={slo['outcomes']}"
+    )
+    worst = max(report.samples, key=lambda s: s.check_violations)
+    print(
+        f"deepest damage        : {worst.check_violations} checker violations "
+        f"across {worst.failing_peers} peers at round {worst.round}"
+    )
+    assert report.stable and report.ideal
+    print(f"final network : {report.peers_final} peers, all invariants hold")
 
 
 if __name__ == "__main__":

@@ -5,9 +5,12 @@ the self-stabilizing protocol itself (:mod:`repro.core`), the synchronous
 message-passing substrate (:mod:`repro.netsim`), identifier-space
 arithmetic (:mod:`repro.idspace`), classic Chord and linearization
 baselines (:mod:`repro.chord`, :mod:`repro.linearize`), a DHT layer on
-top of the stabilized overlay (:mod:`repro.dht`), workload generators
-(:mod:`repro.workloads`) and the experiment harness regenerating every
-figure of the paper (:mod:`repro.experiments`).
+top of the stabilized overlay (:mod:`repro.dht`), an in-band traffic
+plane routing live operations through the overlay *while* it stabilizes
+(:mod:`repro.traffic`), a declarative adversity-scenario engine
+(:mod:`repro.scenarios`), workload generators (:mod:`repro.workloads`)
+and the experiment harness regenerating every figure of the paper
+(:mod:`repro.experiments`).  ``docs/ARCHITECTURE.md`` is the map.
 
 Quickstart::
 

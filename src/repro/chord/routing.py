@@ -87,6 +87,24 @@ def route_greedy(
     ``strict=True`` raises :class:`RoutingError` on failure (historical
     behavior); ``strict=False`` returns the partial result with its
     ``status`` set instead.
+
+    A three-peer ring routed by hand (the key 190 is owned by peer 200,
+    the first peer at-or-after it on the circle):
+
+    >>> from repro.chord.routing import route_greedy
+    >>> from repro.idspace.ring import IdSpace
+    >>> space = IdSpace(8)                      # 256 positions
+    >>> ring = {10: {80}, 80: {200}, 200: {10}}
+    >>> result = route_greedy(space, [10, 80, 200], ring.__getitem__, 10, 190)
+    >>> result.owner, result.hops, result.path, result.ok
+    (200, 2, (10, 80, 200), True)
+
+    Routing over a *degraded* view surfaces the failure kind instead:
+
+    >>> broken = {10: set(), 80: {200}, 200: {10}}
+    >>> route_greedy(space, [10, 80, 200], broken.__getitem__, 10, 190,
+    ...              strict=False).status
+    'dead_end'
     """
     ids = sorted(peer_ids)
     owner = chord_successor(space, ids, key)

@@ -6,6 +6,8 @@ Examples::
     python -m repro fig5 --quick             # fast smoke version
     python -m repro all --seeds 5            # every experiment, light
     rechord lookup --sizes 16 64             # via the console script
+    rechord scenario --list                  # the adversity library
+    rechord scenario flash-crowd --n 64      # one seeded campaign
 
 Every experiment is deterministic for a given ``--root-seed``.
 """
@@ -89,13 +91,114 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--quick", action="store_true", help="small sizes, 2 seeds")
         if name in ("ablation", "messages", "usability"):
             p.add_argument("--n", type=int, default=32 if name != "usability" else 24)
+    scen = sub.add_parser(
+        "scenario",
+        help="declarative fault/churn campaigns (see docs/SCENARIOS.md)",
+    )
+    scen.add_argument("name", nargs="?", default=None, help="named scenario (omit with --list)")
+    scen.add_argument("--list", action="store_true", help="list the scenario library")
+    scen.add_argument("--n", type=int, default=None, help="network size override")
+    scen.add_argument("--seed", type=int, default=None, help="campaign seed override")
+    scen.add_argument("--all", action="store_true", help="run the whole library (sweep table)")
+    scen.add_argument("--json", action="store_true", help="emit the full ScenarioReport as JSON")
+    scen.add_argument(
+        "--spec", type=str, default=None, metavar="FILE",
+        help="run a ScenarioSpec loaded from a JSON file instead of a named one",
+    )
     return parser
+
+
+def _run_scenario_command(args: argparse.Namespace) -> List[str]:
+    """Dispatch ``rechord scenario`` (list / one campaign / sweep)."""
+    import json as _json
+
+    from repro.experiments.scenarios import DEFAULT_N, format_scenarios, run_scenarios
+    from repro.netsim.rng import SeedSequence
+    from repro.scenarios import (
+        ScenarioSpec,
+        make_scenario,
+        run_scenario,
+        scenario_description,
+        scenario_names,
+    )
+
+    if args.list:
+        lines = ["Named scenarios (rechord scenario <name>):", ""]
+        for name in scenario_names():
+            lines.append(f"  {name:<18} {scenario_description(name)}")
+        lines.append("")
+        lines.append("Details, adversary models and expected recovery: docs/SCENARIOS.md")
+        return ["\n".join(lines)]
+    if args.all:
+        n = args.n if args.n is not None else DEFAULT_N
+        return [format_scenarios(run_scenarios(n=n, root_seed=args.root_seed))]
+    if args.spec is not None:
+        from pathlib import Path
+
+        spec = ScenarioSpec.from_json(Path(args.spec).read_text())
+        if args.n is not None:
+            spec = spec.with_overrides(n=args.n)
+        if args.seed is not None:
+            spec = spec.with_overrides(seed=args.seed)
+    elif args.name is not None:
+        n = args.n if args.n is not None else DEFAULT_N
+        seed = (
+            args.seed
+            if args.seed is not None
+            else SeedSequence(args.root_seed).child("scenario-exp", args.name, n=n).seed()
+        )
+        spec = make_scenario(args.name, n=n, seed=seed)
+    else:
+        raise SystemExit("scenario: give a name, --spec FILE, --all, or --list")
+    report = run_scenario(spec)
+    if args.json:
+        return [_json.dumps(report.to_dict(), indent=2, sort_keys=True)]
+    return [_format_scenario_report(spec, report)]
+
+
+def _format_scenario_report(spec, report) -> str:
+    """Human-readable single-campaign summary."""
+    lines = [
+        f"Scenario: {report.name}  (n={report.n}, seed={report.seed})",
+        "=" * 78,
+    ]
+    if spec.description:
+        lines.append(spec.description)
+        lines.append("")
+    lines.append(
+        f"peers {report.peers_start} -> {report.peers_final}   "
+        f"events {dict(report.event_census)}"
+    )
+    lines.append(
+        f"adversity window of {spec.rounds} rounds ended at round "
+        f"{report.rounds_adversity}; recovery in {report.recovery_rounds} "
+        f"rounds (stable={report.stable}, ideal={report.ideal}); "
+        f"{report.rule_fires} rule firings total"
+    )
+    lines.append("")
+    lines.append(f"{'round':>6} {'peers':>5} {'failing':>7} {'violations':>10} "
+                 f"{'pending':>7} {'in-flight':>9} {'done':>6}")
+    for s in report.samples:
+        lines.append(
+            f"{s.round:>6} {s.peers:>5} {s.failing_peers:>7} {s.check_violations:>10} "
+            f"{s.pending_messages:>7} {s.outstanding_ops:>9} {s.completed_ops:>6}"
+        )
+    if report.slo:
+        lines.append("")
+        slo = dict(report.slo)
+        outcomes = "  ".join(f"{k}:{v}" for k, v in slo.pop("outcomes", {}).items())
+        stats = "  ".join(f"{k}={v}" for k, v in slo.items())
+        lines.append(f"traffic: {stats}")
+        lines.append(f"outcomes: {outcomes}")
+    return "\n".join(lines)
 
 
 def _dispatch(args: argparse.Namespace) -> List[str]:
     rs = args.root_seed
     out: List[str] = []
     cmd = args.command
+    if cmd == "scenario":
+        return _run_scenario_command(args)
     if cmd in ("fig5", "all"):
         out.append(format_fig5(run_fig5(_sizes(args, PAPER_SIZES), _seeds(args, 10), rs)))
     if cmd in ("fig6", "all"):

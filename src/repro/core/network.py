@@ -82,7 +82,27 @@ class StabilizationReport:
 
 
 class ReChordNetwork:
-    """A set of Re-Chord peers driven by the synchronous kernel."""
+    """A set of Re-Chord peers driven by the synchronous kernel.
+
+    The facade owns construction (peers, initial edges), round
+    execution, stability detection, membership dynamics and the
+    liveness oracle.  Minimal end-to-end use — two peers, one initial
+    edge, run to the configuration fixpoint:
+
+    >>> from repro.core.network import ReChordNetwork
+    >>> net = ReChordNetwork()
+    >>> a, b = net.add_peer(100), net.add_peer(9000)
+    >>> net.add_initial_edge(net.ref(100), net.ref(9000))
+    >>> report = net.run_until_stable()
+    >>> net.matches_ideal()
+    True
+    >>> report.rounds_to_stable == report.rounds_executed - 1
+    True
+
+    Random weakly connected starts come from
+    :func:`repro.workloads.initial.build_random_network`, adversity
+    campaigns from :mod:`repro.scenarios`.
+    """
 
     def __init__(
         self,

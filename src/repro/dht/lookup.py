@@ -51,6 +51,32 @@ class ReChordRouter:
     network's :meth:`~ReChordNetwork.view_version` no longer matches the
     one the views were built at; :meth:`refresh` remains available for
     explicit rebuilds.
+
+    Auto mode (the default) transparently follows the live network:
+
+    >>> from repro.dht.lookup import ReChordRouter
+    >>> from repro.experiments.scaling import build_ideal_network
+    >>> net = build_ideal_network(16, 1)
+    >>> router = ReChordRouter(net)
+    >>> owner = router.owner_of("alice")
+    >>> net.crash(owner)                     # the snapshot is now stale
+    >>> router.is_stale()
+    True
+    >>> router.owner_of("alice") != owner    # rebuilt before answering
+    True
+
+    Strict mode refuses instead — for callers that must control exactly
+    which configuration they route on:
+
+    >>> strict = ReChordRouter(net, mode="strict")
+    >>> net.crash(net.peer_ids[0])
+    >>> strict.owner_of("bob")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    repro.dht.lookup.StaleViewError: router views built at ...
+
+    ``mode="pin"`` opts back into the historical frozen-snapshot
+    semantics (never rebuild, never raise).
     """
 
     def __init__(self, network: ReChordNetwork, mode: str = "auto") -> None:
@@ -91,12 +117,23 @@ class ReChordRouter:
         self.refresh()
 
     def neighbors(self, peer_id: int) -> Set[int]:
-        """The peer's outgoing real-peer links (Chord view)."""
+        """The peer's outgoing real-peer links (Chord view).
+
+        The staleness policy runs first: auto mode may rebuild the
+        views, strict mode may raise :class:`StaleViewError`.
+        """
         self._ensure_fresh()
         return self._views[peer_id]
 
     def route_id(self, start: int, target_id: int, max_hops: int = 512) -> RouteResult:
-        """Greedy-route an identifier from ``start``."""
+        """Greedy-route an identifier from ``start``.
+
+        The staleness policy (``auto``/``strict``/``pin``) is applied
+        before the walk, so auto-mode routes always run on views
+        matching the network's current :meth:`~ReChordNetwork.view_version`.
+        Routing over a degraded snapshot can fail; see
+        :func:`repro.chord.routing.route_greedy` for the failure kinds.
+        """
         self._ensure_fresh()
         if start not in self._views:
             raise KeyError(f"peer {start} is not in the routing snapshot")
@@ -110,12 +147,14 @@ class ReChordRouter:
         )
 
     def route_key(self, start: int, key: str, max_hops: int = 512) -> RouteResult:
-        """Greedy-route a named key (SHA-1 consistent hashing)."""
+        """Greedy-route a named key (consistent-hashed onto the circle,
+        same staleness policy as :meth:`route_id`)."""
         return self.route_id(start, key_id(key, self.space), max_hops=max_hops)
 
     def owner_of(self, key: str) -> int:
         """The peer responsible for ``key`` under the snapshot's
-        membership (no routing)."""
+        membership (no routing; the staleness policy still applies, so
+        auto mode answers for the *current* membership)."""
         from repro.core.ideal import chord_successor
 
         self._ensure_fresh()

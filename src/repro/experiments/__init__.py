@@ -12,6 +12,8 @@ module          reproduces
 ``baseline``    Section 1 — classic Chord is not self-stabilizing
 ``ablation``    rule ablations (ring / connection / overlap / wrap)
 ``messages``    message complexity per round (E12)
+``traffic``     in-band lookup SLOs concurrent with churn
+``scenarios``   the named adversity-campaign sweep (docs/SCENARIOS.md)
 ==============  ====================================================
 
 Every module exposes ``run_*`` (pure, seeded, returns dataclasses) and

@@ -26,30 +26,13 @@ from repro.experiments.runner import (
     format_sweep,
     sweep_sizes,
 )
-from repro.graphs.digraph import EdgeKind
-from repro.workloads.initial import build_random_network, random_peer_ids
+from repro.workloads.initial import (
+    build_random_network,
+    build_two_rings_network,
+    random_peer_ids,
+)
 
 DEFAULT_SIZES = (8, 16, 32)
-
-
-def _rechord_two_rings(ids, space) -> ReChordNetwork:
-    """Re-Chord initial state mimicking the two-ring split.
-
-    Each parity class forms a directed cycle of unmarked edges; the two
-    cycles share no edge, but (unlike classic Chord) Re-Chord only needs
-    the *union* to be weakly connected, which two interleaved cycles on
-    a common id space are not — so a single bridge edge is added, the
-    minimum adversarial concession the model requires.
-    """
-    net = ReChordNetwork(space)
-    ordered = sorted(ids)
-    for u in ordered:
-        net.add_peer(u)
-    for group in (ordered[0::2], ordered[1::2]):
-        for i, u in enumerate(group):
-            net.add_initial_edge(net.ref(u), net.ref(group[(i + 1) % len(group)]), EdgeKind.UNMARKED)
-    net.add_initial_edge(net.ref(ordered[0]), net.ref(ordered[1]), EdgeKind.UNMARKED)
-    return net
 
 
 def measure_one(n: int, seed: int, budget_rounds: int = 400) -> Dict[str, float]:
@@ -77,7 +60,7 @@ def measure_one(n: int, seed: int, budget_rounds: int = 400) -> Dict[str, float]
     random_recovered = 1.0 if chord2.ring_correct() else 0.0
 
     # Re-Chord from the two-ring-plus-bridge state
-    rechord = _rechord_two_rings(ids, space)
+    rechord = build_two_rings_network(ids, space)
     try:
         rechord.run_until_stable(max_rounds=budget_rounds * 10)
         rechord_recovered = 1.0 if rechord.matches_ideal() else 0.0

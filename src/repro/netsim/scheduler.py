@@ -145,6 +145,12 @@ class SynchronousScheduler:
         self._trace = trace
         #: messages addressed to unregistered actors in the last round
         self.dropped_last_round = 0
+        #: optional fault filter: ``filter(env) -> True`` silently drops
+        #: the envelope at delivery time (network partitions; see
+        #: :meth:`set_drop_filter`).  Applied identically by every kernel
+        #: and to replayed and executed emissions alike, so the two
+        #: engines stay round-for-round equivalent under faults.
+        self._drop_filter: Optional[Callable[[Envelope], bool]] = None
         #: whether the dirty-set/replay engine is active
         self.activity_tracking = activity_tracking
         # ---- activity-tracking state -------------------------------------
@@ -307,6 +313,39 @@ class SynchronousScheduler:
             self._tok_hash[key] = h
             self._state_hash = (self._state_hash - old_h + h) & _MASK
 
+    def set_drop_filter(self, drop: Optional[Callable[[Envelope], bool]]) -> None:
+        """Install (or clear, with ``None``) a delivery-time fault filter.
+
+        While installed, every envelope for which ``drop(env)`` is true
+        is silently discarded at delivery — the model of a network
+        partition: senders keep emitting, the link eats the message, and
+        neither endpoint's *state* is touched.  The filter must be a
+        pure function of the envelope (typically of ``env.sender`` /
+        ``env.target``) and must stay constant between calls to this
+        method, or the steady-emission replay's inbox-repetition
+        induction breaks.
+
+        Installing or clearing a filter is a flow event for the
+        activity-tracked kernel: every actor's next inbox may differ
+        from its cached baseline, so all actors are marked dirty (with
+        the one-round carry, since the changed delivery lands one round
+        later) and the boundary is flagged as changed.  The legacy
+        full-scan kernel needs no bookkeeping — it re-executes everyone
+        anyway — which keeps the two engines equivalent under faults.
+        """
+        if drop is None and self._drop_filter is None:
+            return
+        self._drop_filter = drop
+        if self.activity_tracking:
+            for key in self._actors:
+                self._dirty.add(key)
+                self._dirty_carry.add(key)
+            self._flow_flag = True
+
+    def has_drop_filter(self) -> bool:
+        """Whether a delivery-time fault filter is currently installed."""
+        return self._drop_filter is not None
+
     def config_hash(self) -> tuple:
         """The rolling configuration hash ``(states, pending)``.
 
@@ -350,6 +389,8 @@ class SynchronousScheduler:
         """
         box = self._inboxes.get(envelope.target)
         if box is None:
+            return False
+        if self._drop_filter is not None and self._drop_filter(envelope):
             return False
         box.append(envelope)
         if self.activity_tracking:
@@ -402,11 +443,12 @@ class SynchronousScheduler:
 
         sent = 0
         dropped = 0
+        flt = self._drop_filter
         for outbox in outboxes:
             for env in outbox:
                 sent += 1
                 box = self._inboxes.get(env.target)
-                if box is None:
+                if box is None or (flt is not None and flt(env)):
                     dropped += 1
                     continue
                 box.append(env)
@@ -517,11 +559,12 @@ class SynchronousScheduler:
         sent = 0
         dropped = 0
         inboxes = self._inboxes
+        flt = self._drop_filter
         for outbox in contributions:
             for env in outbox:
                 sent += 1
                 box = inboxes.get(env.target)
-                if box is None:
+                if box is None or (flt is not None and flt(env)):
                     dropped += 1
                     new_pending = (new_pending - _envelope_hash(env)) & _MASK
                     continue
@@ -591,11 +634,12 @@ class SynchronousScheduler:
 
         sent = 0
         dropped = 0
+        flt = self._drop_filter
         for outbox in outboxes:
             for env in outbox:
                 sent += 1
                 box = self._inboxes.get(env.target)
-                if box is None:
+                if box is None or (flt is not None and flt(env)):
                     dropped += 1
                     continue
                 box.append(env)

@@ -1,0 +1,287 @@
+"""Campaign execution: drive a :class:`ScenarioSpec` against a live
+network and produce a :class:`ScenarioReport`.
+
+The executor owns the three campaign phases (start / adversity window /
+recovery), fires events at their round boundaries through
+:mod:`repro.scenarios.events`, keeps the traffic plane fed and its
+deadline ledger swept, and samples the **repair curve** — per-boundary
+local-checker violations (:func:`repro.core.checker.local_check_peer`),
+pending protocol messages and outstanding operations — so a report
+shows *how* the overlay healed, not only that it did.
+
+Everything in the report is a deterministic function of
+``(spec, kernel)``; kernel-specific instrumentation (executed/replayed
+split) is carried in a comparison-excluded field so reports from the
+two engines compare equal — the property ``tests/test_scenarios.py``
+asserts for every named scenario.
+
+Stability is detected uniformly for both kernels by fingerprint
+comparison (states + in-flight messages), mirroring
+:meth:`ReChordNetwork.run_until_stable`'s legacy criterion; recovery
+additionally waits for the operation ledger to drain (deadlines bound
+that wait).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checker import local_check_peer
+from repro.core.network import ReChordNetwork
+from repro.dht.lookup import ReChordRouter
+from repro.dht.storage import KeyValueStore
+from repro.experiments.scaling import build_ideal_network
+from repro.netsim.rng import SeedSequence
+from repro.scenarios.events import EventContext, apply_event_spec
+from repro.scenarios.spec import ScenarioSpec
+from repro.traffic.generator import WorkloadGenerator
+from repro.traffic.plane import TrafficPlane
+from repro.workloads.initial import (
+    build_random_network,
+    build_shaped_network,
+    build_two_rings_network,
+    corrupt_network,
+    random_peer_ids,
+)
+
+
+@dataclass(frozen=True)
+class RecoverySample:
+    """One point of the repair curve (taken at a round boundary)."""
+
+    round: int
+    peers: int
+    failing_peers: int
+    check_violations: int
+    pending_messages: int
+    outstanding_ops: int
+    completed_ops: int
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Deterministic outcome of one campaign.
+
+    ``recovery_rounds`` follows the paper's Fig. 6 convention: the index
+    (relative to the end of the adversity window) of the first round
+    boundary whose configuration never changes again.  ``config_digest``
+    is a stable digest of the final global configuration — two runs of
+    the same ``(spec, kernel)`` pair, and the same spec across the two
+    kernels, must produce byte-identical digests.  ``activity`` carries
+    kernel-specific instrumentation and is excluded from comparison.
+    """
+
+    name: str
+    n: int
+    seed: int
+    peers_start: int
+    peers_final: int
+    rounds_adversity: int
+    recovery_rounds: int
+    rounds_total: int
+    stable: bool
+    ideal: bool
+    event_census: Dict[str, int]
+    samples: Tuple[RecoverySample, ...]
+    slo: Optional[dict]
+    rule_fires: int
+    config_digest: str
+    activity: Dict[str, int] = field(compare=False, default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (stable key order left to callers)."""
+        out = {
+            "name": self.name,
+            "n": self.n,
+            "seed": self.seed,
+            "peers_start": self.peers_start,
+            "peers_final": self.peers_final,
+            "rounds_adversity": self.rounds_adversity,
+            "recovery_rounds": self.recovery_rounds,
+            "rounds_total": self.rounds_total,
+            "stable": self.stable,
+            "ideal": self.ideal,
+            "event_census": dict(sorted(self.event_census.items())),
+            "samples": [vars(s) for s in self.samples],
+            "slo": self.slo,
+            "rule_fires": self.rule_fires,
+            "config_digest": self.config_digest,
+            "activity": dict(self.activity),
+        }
+        return out
+
+
+def _build_start(spec: ScenarioSpec, seq: SeedSequence, incremental: bool) -> ReChordNetwork:
+    """Materialize the campaign's initial topology."""
+    params = dict(spec.start_params)
+    build_seed = seq.child("build").seed()
+    stabilize = params.pop("stabilize", False)
+    # corrupt: False | True | {corrupt_network kwargs} (intensity knobs)
+    corrupt = params.pop("corrupt", False)
+    corrupt_kw = dict(corrupt) if isinstance(corrupt, dict) else {}
+    if spec.start == "ideal":
+        net = build_ideal_network(spec.n, build_seed, incremental=incremental)
+    elif spec.start == "random":
+        net = build_random_network(
+            spec.n, build_seed, incremental=incremental, **params
+        )
+    elif spec.start == "two_rings":
+        rng = seq.child("ids").rng()
+        from repro.idspace.ring import IdSpace
+
+        space = IdSpace()
+        ids = random_peer_ids(spec.n, rng, space)
+        net = build_two_rings_network(ids, space, incremental=incremental)
+    else:  # a degenerate shape
+        net = build_shaped_network(
+            spec.start, spec.n, build_seed, incremental=incremental
+        )
+    if corrupt:
+        corrupt_network(net, seq.child("corrupt").seed(), **corrupt_kw)
+    if stabilize:
+        net.run_until_stable(max_rounds=spec.max_recovery_rounds)
+    return net
+
+
+def _sample(
+    net: ReChordNetwork, plane: Optional[TrafficPlane]
+) -> RecoverySample:
+    failing = 0
+    violations = 0
+    for peer in net.peers.values():
+        problems = local_check_peer(peer)
+        if problems:
+            failing += 1
+            violations += len(problems)
+    return RecoverySample(
+        round=net.round_no,
+        peers=len(net.peers),
+        failing_peers=failing,
+        check_violations=violations,
+        pending_messages=net.scheduler.pending_messages(),
+        outstanding_ops=(
+            plane.collector.outstanding_count() if plane is not None else 0
+        ),
+        completed_ops=(len(plane.collector.completed) if plane is not None else 0),
+    )
+
+
+def run_scenario(spec: ScenarioSpec, incremental: bool = True) -> ScenarioReport:
+    """Execute one campaign and report recovery + SLO metrics.
+
+    ``incremental`` selects the simulation kernel; the report (minus the
+    comparison-excluded ``activity`` field) is identical for both — the
+    engine-equivalence suite runs every named scenario through this
+    function twice and compares.
+    """
+    seq = SeedSequence(spec.seed).child("scenario", spec.name, n=spec.n)
+    net = _build_start(spec, seq, incremental)
+    peers_start = len(net.peers)
+
+    plane: Optional[TrafficPlane] = None
+    if spec.traffic is not None:
+        t = spec.traffic
+        store = None
+        if t.needs_store():
+            store = KeyValueStore(ReChordRouter(net))
+        plane = TrafficPlane(net, store=store, default_deadline=t.deadline)
+        WorkloadGenerator(
+            plane,
+            rate=t.rate,
+            op_mix=t.op_mix,
+            key_universe=t.key_universe,
+            popularity=t.popularity,
+            zipf_s=t.zipf_s,
+            deadline=t.deadline,
+            ttl=t.ttl,
+            max_outstanding=t.max_outstanding,
+            seed=seq.child("workload").seed(),
+        )
+
+    ctx = EventContext(net, plane)
+    # each event's RNG stream is keyed on (round, kind, occurrence among
+    # same-round same-kind events) — NOT its position in spec.events —
+    # so inserting or removing an unrelated event leaves every other
+    # event's draws untouched (the tunability contract of events.py)
+    timeline: Dict[int, List[Tuple[tuple, str, dict]]] = {}
+    occurrence: Dict[Tuple[int, str], int] = {}
+    for event in spec.events:
+        k = occurrence.get((event.at, event.kind), 0)
+        occurrence[(event.at, event.kind)] = k + 1
+        stream = ("event", event.at, event.kind, k)
+        timeline.setdefault(event.at, []).append((stream, event.kind, dict(event.params)))
+
+    samples: List[RecoverySample] = [_sample(net, plane)]
+
+    def run_one_round() -> None:
+        if plane is not None:
+            plane.run_round()
+        else:
+            net.run_round()
+
+    # ---- adversity window -------------------------------------------
+    for offset in range(spec.rounds):
+        fired = False
+        for stream, kind, params in timeline.get(offset, ()):
+            rng = seq.child(*stream).rng()
+            apply_event_spec(ctx, rng, kind, params)
+            fired = True
+        if fired:
+            # capture the damage at the boundary it lands on, before the
+            # protocol gets a round to repair it (the repair curve's peak)
+            samples.append(_sample(net, plane))
+        run_one_round()
+        if fired or (offset + 1) % spec.sample_every == 0:
+            samples.append(_sample(net, plane))
+
+    # ---- recovery: workload off, run to configuration fixpoint ------
+    if plane is not None and plane.generator is not None:
+        plane.generator.active = False
+    adversity_end = net.round_no
+    recovery_rounds = -1
+    prev = net.fingerprint()
+    stable = False
+    for executed in range(1, spec.max_recovery_rounds + 1):
+        run_one_round()
+        if executed % spec.sample_every == 0:
+            samples.append(_sample(net, plane))
+        cur = net.fingerprint()
+        drained = plane is None or not plane.collector.outstanding
+        if cur == prev and drained:
+            # the configuration reached at `executed - 1` is final
+            recovery_rounds = executed - 1
+            stable = True
+            break
+        prev = cur
+    if samples[-1].round != net.round_no:
+        samples.append(_sample(net, plane))
+
+    digest = hashlib.sha256(repr(net.fingerprint()).encode()).hexdigest()[:16]
+    activity: Dict[str, int] = {}
+    if net.incremental:
+        executed_last, replayed_last = net.activity_stats()
+        activity = {
+            "executed_last_round": executed_last,
+            "replayed_last_round": replayed_last,
+            "dirty_next_round": net.scheduler.dirty_count(),
+        }
+    return ScenarioReport(
+        name=spec.name,
+        n=spec.n,
+        seed=spec.seed,
+        peers_start=peers_start,
+        peers_final=len(net.peers),
+        rounds_adversity=adversity_end,
+        recovery_rounds=recovery_rounds,
+        rounds_total=net.round_no,
+        stable=stable,
+        ideal=net.matches_ideal() if not net.scheduler.has_drop_filter() else False,
+        event_census=dict(sorted(ctx.census.items())),
+        samples=tuple(samples),
+        slo=plane.collector.summary() if plane is not None else None,
+        rule_fires=net.counters().total(),
+        config_digest=digest,
+        activity=activity,
+    )

@@ -1,0 +1,208 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a *value*: a seeded, self-contained
+description of one adversity campaign — the initial topology, a timeline
+of fault/churn/corruption events, the concurrent traffic workload, and
+the sampling/recovery policy.  Specs are plain dataclasses, round-trip
+losslessly through JSON (:meth:`ScenarioSpec.to_json` /
+:meth:`ScenarioSpec.from_json`), and are executed by
+:func:`repro.scenarios.executor.run_scenario` on either simulation
+kernel.  Everything downstream of a ``(spec, kernel)`` pair is
+deterministic; the determinism and engine-equivalence suites rely on
+that.
+
+Example::
+
+    >>> from repro.scenarios import ScenarioSpec, EventSpec, TrafficSpec
+    >>> spec = ScenarioSpec(
+    ...     name="two-crashes", n=16, seed=7, start="ideal", rounds=12,
+    ...     events=(EventSpec(at=4, kind="crash_wave", params={"count": 2}),),
+    ...     traffic=TrafficSpec(rate=1.0),
+    ... )
+    >>> ScenarioSpec.from_json(spec.to_json()) == spec
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.traffic.messages import OP_GET, OP_LOOKUP, OP_PUT
+
+#: initial-topology builders accepted by ScenarioSpec.start
+START_KINDS = (
+    "ideal",        # the unique stable topology (build_ideal_network)
+    "random",       # Section 5's random weakly connected start
+    "line",         # degenerate shapes (build_shaped_network)
+    "star",
+    "two_cliques",
+    "lollipop",
+    "two_rings",    # the interleaved split that breaks classic Chord
+)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One timed adversity event.
+
+    ``at`` is the round offset from campaign start at which the event
+    fires (events fire at a round *boundary*, before that round
+    executes); ``kind`` names an entry of
+    :data:`repro.scenarios.events.EVENT_KINDS`; ``params`` are the
+    kind-specific knobs (validated when the event is applied).
+    """
+
+    at: int
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {"at": self.at, "kind": self.kind, "params": dict(self.params)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "EventSpec":
+        """Inverse of :meth:`to_dict`."""
+        return EventSpec(
+            at=int(data["at"]),
+            kind=str(data["kind"]),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The concurrent workload riding the campaign (see
+    :class:`repro.traffic.generator.WorkloadGenerator` for the knobs).
+
+    ``op_mix`` weights are normalized by the generator; a mix containing
+    ``put``/``get`` makes the executor attach a
+    :class:`repro.dht.storage.KeyValueStore` automatically.
+    """
+
+    rate: float = 2.0
+    op_mix: Tuple[Tuple[str, float], ...] = ((OP_LOOKUP, 1.0),)
+    key_universe: int = 64
+    popularity: str = "uniform"
+    zipf_s: float = 1.1
+    deadline: int = 32
+    ttl: Optional[int] = None
+    max_outstanding: Optional[int] = None
+
+    def needs_store(self) -> bool:
+        """Whether the mix issues KV operations."""
+        return any(op in (OP_GET, OP_PUT) and w > 0 for op, w in self.op_mix)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "rate": self.rate,
+            "op_mix": [[op, w] for op, w in self.op_mix],
+            "key_universe": self.key_universe,
+            "popularity": self.popularity,
+            "zipf_s": self.zipf_s,
+            "deadline": self.deadline,
+            "ttl": self.ttl,
+            "max_outstanding": self.max_outstanding,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "TrafficSpec":
+        """Inverse of :meth:`to_dict`."""
+        kw = dict(data)
+        kw["op_mix"] = tuple((str(op), float(w)) for op, w in kw.get("op_mix", [["lookup", 1.0]]))
+        return TrafficSpec(**kw)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, seeded adversity campaign.
+
+    Execution phases (see :func:`repro.scenarios.executor.run_scenario`):
+
+    1. **start** — build the initial topology named by ``start`` (with
+       ``start_params``: ``"corrupt"`` may be ``true`` or a dict of
+       :func:`repro.workloads.initial.corrupt_network` intensity knobs,
+       e.g. ``{"corrupt": {"virtual_fraction": 1.0}}``) and optionally
+       pre-stabilize it (``start_params["stabilize"]``);
+    2. **adversity window** — drive ``rounds`` traffic-carrying rounds,
+       firing every :class:`EventSpec` at its offset;
+    3. **recovery** — pause the workload and run until the global
+       configuration repeats *and* all outstanding operations complete,
+       bounded by ``max_recovery_rounds``.
+
+    ``sample_every`` sets the cadence of the repair-curve samples
+    (local-checker violations, pending messages, outstanding ops).
+    """
+
+    name: str
+    n: int
+    seed: int
+    rounds: int
+    start: str = "ideal"
+    start_params: Dict[str, Any] = field(default_factory=dict)
+    events: Tuple[EventSpec, ...] = ()
+    traffic: Optional[TrafficSpec] = TrafficSpec()
+    sample_every: int = 2
+    max_recovery_rounds: int = 5000
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start not in START_KINDS:
+            raise ValueError(f"unknown start {self.start!r}; choose from {START_KINDS}")
+        if self.n < 1:
+            raise ValueError("need at least one peer")
+        if self.rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be positive")
+        for event in self.events:
+            # events fire at the boundary BEFORE their round executes, so
+            # valid offsets are 0..rounds-1: an event at `rounds` would
+            # silently never fire
+            if event.at < 0 or event.at >= self.rounds:
+                raise ValueError(
+                    f"event {event.kind!r} at round {event.at} lies outside "
+                    f"the adversity window (valid offsets: 0..{self.rounds - 1})"
+                )
+
+    def with_overrides(self, **kw: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced (used by the CLI)."""
+        return replace(self, **kw)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (lossless; see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "n": self.n,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "start": self.start,
+            "start_params": dict(self.start_params),
+            "events": [event.to_dict() for event in self.events],
+            "traffic": None if self.traffic is None else self.traffic.to_dict(),
+            "sample_every": self.sample_every,
+            "max_recovery_rounds": self.max_recovery_rounds,
+            "description": self.description,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        kw = dict(data)
+        kw["events"] = tuple(EventSpec.from_dict(e) for e in kw.get("events", []))
+        traffic = kw.get("traffic")
+        kw["traffic"] = None if traffic is None else TrafficSpec.from_dict(traffic)
+        kw["start_params"] = dict(kw.get("start_params", {}))
+        return ScenarioSpec(**kw)
+
+    def to_json(self, **json_kw: Any) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, **json_kw)
+
+    @staticmethod
+    def from_json(text: str) -> "ScenarioSpec":
+        """Parse a spec from JSON (inverse of :meth:`to_json`)."""
+        return ScenarioSpec.from_dict(json.loads(text))

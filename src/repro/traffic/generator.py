@@ -34,6 +34,17 @@ class WorkloadGenerator:
     deterministic serial values so runs are comparable.  Construction
     registers the generator on the plane (``plane.run_round`` calls
     :meth:`inject` each round); set :attr:`active` to False to pause.
+
+    Rate 2 injects two seeded arrivals per traffic-carrying round:
+
+    >>> from repro.experiments.scaling import build_ideal_network
+    >>> from repro.traffic.plane import TrafficPlane
+    >>> from repro.traffic.generator import WorkloadGenerator
+    >>> plane = TrafficPlane(build_ideal_network(16, 1))
+    >>> gen = WorkloadGenerator(plane, rate=2.0, seed=7)
+    >>> plane.run(4)
+    >>> gen.issued
+    8
     """
 
     def __init__(

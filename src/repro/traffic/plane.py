@@ -78,6 +78,21 @@ class TrafficPlane:
     in-band ``put``/``get`` operations with per-peer buckets
     (:meth:`KeyValueStore.local_put` / :meth:`~KeyValueStore.local_get`)
     and is required only when KV traffic is issued.
+
+    One lookup routed hop-by-hop through a live overlay:
+
+    >>> from repro.experiments.scaling import build_ideal_network
+    >>> from repro.traffic.plane import TrafficPlane
+    >>> net = build_ideal_network(16, 1)
+    >>> plane = TrafficPlane(net)
+    >>> op_id = plane.lookup("alice", origin=net.peer_ids[0])
+    >>> rounds = plane.drain()          # run until the ledger is empty
+    >>> done = plane.collector.completed[0]
+    >>> done.op_id == op_id and done.outcome
+    'ok'
+
+    Attach a :class:`repro.traffic.generator.WorkloadGenerator` for a
+    sustained arrival process instead of manual injection.
     """
 
     def __init__(

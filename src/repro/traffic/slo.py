@@ -119,6 +119,17 @@ class SLOCollector:
     plane supplies ``chord_successor`` over live membership); it is
     consulted once per completion, so classification always reflects the
     membership at completion time.
+
+    Standalone (no network), the ledger mechanics look like this:
+
+    >>> from repro.traffic.slo import IssuedOp, SLOCollector
+    >>> coll = SLOCollector(lambda kid: 42)
+    >>> coll.register(IssuedOp(op_id=0, op="lookup", origin=7, kid=9,
+    ...                        issue_round=0, deadline=8))
+    >>> coll.expire(round_no=10)        # past the deadline: timed out
+    1
+    >>> coll.summary()["outcomes"]
+    {'timeout': 1}
     """
 
     def __init__(self, true_owner: Callable[[int], Optional[int]]) -> None:

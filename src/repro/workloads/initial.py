@@ -107,6 +107,38 @@ def build_shaped_network(
     return _wire(net, ids, maker(n) if n > 1 else [], rng)
 
 
+def build_two_rings_network(
+    ids: Sequence[int],
+    space: Optional[IdSpace] = None,
+    config: Optional[RuleConfig] = None,
+    incremental: bool = True,
+) -> ReChordNetwork:
+    """The interleaved two-ring split that permanently breaks classic Chord.
+
+    Peers are sorted by identifier and split by parity into two groups;
+    each group forms a directed cycle of unmarked edges.  The cycles
+    interleave on the identifier circle but share no edge, so classic
+    Chord's stabilization can never merge them (Section 1 of the paper).
+    Re-Chord only needs the *union* to be weakly connected, which two
+    disjoint cycles are not — a single bridge edge is added, the minimum
+    adversarial concession the model requires.
+    """
+    space = space if space is not None else IdSpace()
+    net = ReChordNetwork(space, config, incremental=incremental)
+    ordered = sorted(ids)
+    for u in ordered:
+        net.add_peer(u)
+    if len(ordered) < 2:
+        return net
+    for group in (ordered[0::2], ordered[1::2]):
+        for i, u in enumerate(group):
+            net.add_initial_edge(
+                net.ref(u), net.ref(group[(i + 1) % len(group)]), EdgeKind.UNMARKED
+            )
+    net.add_initial_edge(net.ref(ordered[0]), net.ref(ordered[1]), EdgeKind.UNMARKED)
+    return net
+
+
 def corrupt_network(
     net: ReChordNetwork,
     seed: int,

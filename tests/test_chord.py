@@ -165,7 +165,7 @@ class TestNotSelfStabilizing:
 
     def test_rechord_recovers_the_same_split(self):
         """Contrast: Re-Chord stabilizes from the interleaved split."""
-        from repro.experiments.baseline import _rechord_two_rings
+        from repro.workloads.initial import build_two_rings_network as _rechord_two_rings
 
         ids = some_ids(12, seed=8)
         net = _rechord_two_rings(ids, SPACE)

@@ -54,6 +54,49 @@ class TestCli:
         assert "rounds-since-churn" in out
         assert "violations" in out
 
+    def test_scenario_list(self, capsys):
+        code = main(["scenario", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # the acceptance bar: at least eight named scenarios are listed
+        from repro.scenarios import scenario_names
+
+        names = scenario_names()
+        assert len(names) >= 8
+        for name in names:
+            assert name in out
+        assert "docs/SCENARIOS.md" in out
+
+    def test_scenario_run_tiny(self, capsys):
+        code = main(["scenario", "seam-crash", "--n", "10", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario: seam-crash" in out
+        assert "recovery in" in out
+        assert "traffic:" in out
+
+    def test_scenario_json_output(self, capsys):
+        import json
+
+        code = main(["scenario", "flash-crowd", "--n", "10", "--seed", "3", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out[: -len("\n\n")])
+        assert report["name"] == "flash-crowd"
+        assert report["stable"] is True
+
+    def test_scenario_from_spec_file(self, capsys, tmp_path):
+        from repro.scenarios import make_scenario
+
+        path = tmp_path / "spec.json"
+        path.write_text(make_scenario("crash-wave", n=10, seed=4).to_json())
+        code = main(["scenario", "--spec", str(path)])
+        assert code == 0
+        assert "Scenario: crash-wave" in capsys.readouterr().out
+
+    def test_scenario_requires_name_or_flag(self):
+        with pytest.raises(SystemExit):
+            main(["scenario"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,94 @@
+"""The documentation plane must stay honest.
+
+Two enforcement layers, both also run by the CI docs job:
+
+* every ``>>>`` snippet in README.md and docs/*.md is executed as a
+  doctest (so quickstarts cannot rot);
+* every relative Markdown link and anchor resolves
+  (``tools/check_docs.py``).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [ROOT / "README.md", *(ROOT / "docs").glob("*.md")],
+)
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocs:
+    def test_documentation_files_exist(self):
+        for required in ("README.md", "docs/ARCHITECTURE.md", "docs/SCENARIOS.md"):
+            assert (ROOT / required).exists(), f"{required} is missing"
+
+    def test_readme_points_at_docs(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "docs/ARCHITECTURE.md" in readme
+        assert "docs/SCENARIOS.md" in readme
+
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_doc_snippets_execute(self, path):
+        failures, tests = doctest.testfile(
+            str(path), module_relative=False, verbose=False
+        )
+        assert failures == 0, f"{tests - failures}/{tests} doctests passed in {path.name}"
+
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_no_broken_links_or_anchors(self, path):
+        checker = _load_checker()
+        broken, _external = checker.check_file(path)
+        assert not broken, "\n".join(broken)
+
+    #: public-API modules whose docstring examples must keep executing
+    DOCTEST_MODULES = (
+        "repro.core.network",
+        "repro.traffic.plane",
+        "repro.traffic.generator",
+        "repro.traffic.slo",
+        "repro.chord.routing",
+        "repro.dht.lookup",
+        "repro.scenarios.spec",
+        "repro.scenarios.library",
+    )
+
+    @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+    def test_public_api_docstring_examples_execute(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        failures, tests = doctest.testmod(module, verbose=False)
+        assert tests > 0, f"{module_name} lost its doctest examples"
+        assert failures == 0, f"{failures}/{tests} doctests failed in {module_name}"
+
+    def test_scenarios_doc_covers_whole_library(self):
+        """Every named scenario must be documented, and vice versa."""
+        from repro.scenarios import scenario_names
+
+        text = (ROOT / "docs" / "SCENARIOS.md").read_text()
+        for name in scenario_names():
+            assert f"### `{name}`" in text, f"scenario {name!r} undocumented"
+
+    def test_architecture_doc_names_every_package(self):
+        text = (ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        src = ROOT / "src" / "repro"
+        packages = sorted(
+            p.name for p in src.iterdir() if p.is_dir() and (p / "__init__.py").exists()
+        )
+        for package in packages:
+            assert f"{package}/" in text, f"package {package!r} missing from the module map"

@@ -31,12 +31,12 @@ class TestExamples:
         out = run_example("dht_keyvalue.py")
         assert "100/100" in out and "durability" in out
 
-    @pytest.mark.slow
     def test_churn_recovery(self):
         out = run_example("churn_recovery.py")
+        assert "campaign: churn-recovery" in out  # scenario-engine driven
         assert "all invariants hold" in out
 
-    @pytest.mark.slow
     def test_adversarial_start(self):
         out = run_example("adversarial_start.py")
+        assert "ideal=True" in out
         assert "ring_correct=False" in out  # the classic-Chord contrast
