@@ -59,6 +59,51 @@ def test_fingerprint_cost(benchmark):
     benchmark(net.fingerprint)
 
 
+def test_canonical_token_cache(benchmark):
+    """The version-keyed ``PeerState.canonical()`` memo: quiescence
+    probes and fingerprints of unchanged peers return the cached tuple.
+    Emits the cached-vs-rebuilt delta (the rebuild is forced by bumping
+    each peer's version, which invalidates the memo)."""
+    import time
+
+    net = _stable_network()
+    states = [peer.state for peer in net.peers.values()]
+    for state in states:
+        state.canonical()  # warm the memo
+
+    def rebuild_all():
+        for state in states:
+            state.version += 1  # invalidate: forces a full rebuild
+            state.canonical()
+
+    def cached_all():
+        for state in states:
+            state.canonical()
+
+    reps = 200
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        rebuild_all()
+    rebuilt = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cached_all()
+    cached = (time.perf_counter() - t0) / reps
+    emit(
+        "canonical_cache",
+        "PeerState.canonical() per sweep over a stable 64-peer network\n"
+        f"  rebuilt (version bumped): {rebuilt * 1e6:9.1f} us\n"
+        f"  cached (version stable):  {cached * 1e6:9.1f} us\n"
+        f"  speedup: {rebuilt / max(cached, 1e-12):.1f}x",
+    )
+    # property, not timing (timings above are informational — a loaded
+    # runner could invert them spuriously): while the version is
+    # stable, canonical() must return the memoized tuple itself
+    for state in states:
+        assert state.canonical() is state.canonical(), "memo not hit"
+    benchmark(cached_all)
+
+
 def test_incremental_fingerprint_cost(benchmark):
     net = _stable_network(incremental=True)
     benchmark(net.incremental_fingerprint)

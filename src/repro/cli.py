@@ -105,7 +105,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--spec", type=str, default=None, metavar="FILE",
         help="run a ScenarioSpec loaded from a JSON file instead of a named one",
     )
+    scen.add_argument(
+        "--latency-model", type=str, default=None, metavar="MODEL",
+        help="delivery model for the whole campaign: a kind "
+        "(unit, constant, slow_links, lognormal, regions, reorder), "
+        "kind:key=value,... (e.g. constant:delay=3), or a JSON spec dict",
+    )
+    scen.add_argument(
+        "--daemon", type=str, default=None, metavar="DAEMON",
+        help="activation daemon for the whole campaign: a kind "
+        "(full, partial, round_robin, unfair), kind:key=value,... "
+        "(e.g. partial:p=0.5), or a JSON spec dict",
+    )
     return parser
+
+
+def _parse_model_arg(text: str) -> dict:
+    """Parse a ``--latency-model`` / ``--daemon`` value.
+
+    Accepts a bare kind (``reorder``), ``kind:key=value,key=value``
+    (``constant:delay=3``), or a JSON object
+    (``'{"kind": "reorder", "bound": 4}'``).
+    """
+    import json as _json
+
+    text = text.strip()
+    if text.startswith("{"):
+        return dict(_json.loads(text))
+    kind, _, rest = text.partition(":")
+    spec: dict = {"kind": kind}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise SystemExit(
+                    f"bad model parameter {item!r} (expected key=value) in {text!r}"
+                )
+            try:
+                parsed: object = int(value)
+            except ValueError:
+                try:
+                    parsed = float(value)
+                except ValueError:
+                    parsed = value
+            spec[key.strip()] = parsed
+    return spec
 
 
 def _run_scenario_command(args: argparse.Namespace) -> List[str]:
@@ -123,15 +167,33 @@ def _run_scenario_command(args: argparse.Namespace) -> List[str]:
     )
 
     if args.list:
+        from repro.netsim.timemodel import DAEMON_KINDS, DELIVERY_KINDS
+
         lines = ["Named scenarios (rechord scenario <name>):", ""]
         for name in scenario_names():
             lines.append(f"  {name:<18} {scenario_description(name)}")
+        lines.append("")
+        lines.append(
+            "Time-model overrides (any scenario): "
+            "--latency-model KIND[:k=v,...] --daemon KIND[:k=v,...]"
+        )
+        lines.append(f"  latency models: {', '.join(sorted(DELIVERY_KINDS))}")
+        lines.append(f"  daemons:        {', '.join(sorted(DAEMON_KINDS))}")
         lines.append("")
         lines.append("Details, adversary models and expected recovery: docs/SCENARIOS.md")
         return ["\n".join(lines)]
     if args.all:
         n = args.n if args.n is not None else DEFAULT_N
-        return [format_scenarios(run_scenarios(n=n, root_seed=args.root_seed))]
+        overrides = {}
+        if args.latency_model is not None:
+            overrides["latency"] = _parse_model_arg(args.latency_model)
+        if args.daemon is not None:
+            overrides["daemon"] = _parse_model_arg(args.daemon)
+        return [
+            format_scenarios(
+                run_scenarios(n=n, root_seed=args.root_seed, overrides=overrides)
+            )
+        ]
     if args.spec is not None:
         from pathlib import Path
 
@@ -150,6 +212,10 @@ def _run_scenario_command(args: argparse.Namespace) -> List[str]:
         spec = make_scenario(args.name, n=n, seed=seed)
     else:
         raise SystemExit("scenario: give a name, --spec FILE, --all, or --list")
+    if args.latency_model is not None:
+        spec = spec.with_overrides(latency=_parse_model_arg(args.latency_model))
+    if args.daemon is not None:
+        spec = spec.with_overrides(daemon=_parse_model_arg(args.daemon))
     report = run_scenario(spec)
     if args.json:
         return [_json.dumps(report.to_dict(), indent=2, sort_keys=True)]

@@ -62,6 +62,7 @@ from repro.graphs.digraph import EdgeKind, TypedDigraph
 from repro.idspace.ring import IdSpace
 from repro.netsim.messages import Envelope
 from repro.netsim.scheduler import SynchronousScheduler
+from repro.netsim.timemodel import TimeModel
 from repro.netsim.trace import TraceRecorder
 
 
@@ -110,12 +111,15 @@ class ReChordNetwork:
         config: Optional[RuleConfig] = None,
         record_trace: bool = False,
         incremental: bool = True,
+        time_model: Optional[TimeModel] = None,
     ) -> None:
         self.space = space if space is not None else IdSpace()
         self.config = config if config is not None else RuleConfig()
         self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
         self.incremental = incremental
-        self.scheduler = SynchronousScheduler(self.trace, activity_tracking=incremental)
+        self.scheduler = SynchronousScheduler(
+            self.trace, activity_tracking=incremental, time_model=time_model
+        )
         self.peers: Dict[int, ReChordPeer] = {}
         self._level_snapshot: Dict[int, frozenset] = {}
         #: incremental engine: owner ids referenced by each peer ...
@@ -386,12 +390,32 @@ class ReChordNetwork:
         """Sorted live peer ids."""
         return sorted(self.peers)
 
+    def set_delivery_model(self, model) -> None:
+        """Install a delivery model mid-run (instance, kind name, or
+        spec dict — see :mod:`repro.netsim.timemodel`).  Unit delivery
+        is the default and reproduces the paper's semantics exactly."""
+        self.scheduler.set_delivery_model(model)
+
+    def set_daemon(self, daemon) -> None:
+        """Install an activation daemon mid-run (instance, kind name,
+        or spec dict); ``run_round()`` consults it when no explicit
+        active set is passed."""
+        self.scheduler.set_daemon(daemon)
+
+    @property
+    def time_model(self) -> TimeModel:
+        """The scheduler's current notion of time (delivery + daemon)."""
+        return self.scheduler.time_model
+
     def run_round(self, active: Optional[set] = None) -> None:
         """Execute one synchronous round (optionally partial activation).
 
         ``active`` limits which peers step — the fair-scheduling bridge
         toward asynchrony studied by the asynchrony experiment; peers
-        left out keep their state and accumulate their inbox.
+        left out keep their state and accumulate their inbox.  With no
+        explicit set the scheduler consults the activation daemon of
+        the installed :class:`repro.netsim.timemodel.TimeModel` (full
+        activation by default).
         """
         if not self.incremental:
             # freeze the level map so the oracle answers with round-start
@@ -418,10 +442,13 @@ class ReChordNetwork:
         self._drain_level_flips()
         sched.run_round(active)
         # schedule boundary maintenance for peers this round changed
-        if active is None:
+        # (the activation daemon may have chosen the set: ask the
+        # scheduler what actually ran rather than trusting `active`)
+        chosen = sched.active_last_round
+        if chosen is None:
             self._pending_refresh.update(sched.state_changed_keys)
         else:
-            self._pending_refresh.update(active & set(self.peers))
+            self._pending_refresh.update(set(chosen) & set(self.peers))
 
     def run(self, rounds: int) -> None:
         """Execute ``rounds`` rounds."""
@@ -482,14 +509,24 @@ class ReChordNetwork:
     # stability / correctness predicates
     # ------------------------------------------------------------------
     def fingerprint(self) -> tuple:
-        """Canonical global configuration (peer states + in-flight)."""
+        """Canonical global configuration (peer states + in-flight).
+
+        In-flight covers next round's inboxes *and* delayed deliveries
+        still parked in the scheduler's future queue; the latter carry
+        their remaining delay, because the same envelope at different
+        maturities is a different configuration.  Under unit delivery
+        the future queue is empty and the fingerprint is byte-identical
+        to the historical form.
+        """
         peers = tuple(
             self.peers[pid].state.canonical() for pid in sorted(self.peers)
         )
-        pending = tuple(
-            sorted((env.target, env.payload.canonical()) for env in self.scheduler.all_pending())
-        )
-        return (peers, pending)
+        entries = [
+            (env.target, env.payload.canonical()) for env in self.scheduler.all_pending()
+        ]
+        for remaining, env in self.scheduler.future_pending():
+            entries.append((env.target, env.payload.canonical(), remaining))
+        return (peers, tuple(sorted(entries)))
 
     def incremental_fingerprint(self) -> tuple:
         """The rolling 64-bit configuration hash ``(states, pending)``.
@@ -662,7 +699,12 @@ class ReChordNetwork:
         if include_pending:
             from repro.core.events import EdgeAdd  # local import to avoid cycle
 
-            for env in self.scheduler.all_pending():
+            # scheduled-but-not-matured deliveries count too: an edge on
+            # a slow wire is still circulating, and weak-connectivity
+            # accounting must see it
+            in_flight = list(self.scheduler.all_pending())
+            in_flight.extend(env for _, env in self.scheduler.future_pending())
+            for env in in_flight:
                 payload = env.payload
                 if isinstance(payload, EdgeAdd) and payload.endpoint != payload.target:
                     kind = {

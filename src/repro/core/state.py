@@ -320,7 +320,7 @@ class LocalNode:
 class PeerState:
     """All simulated nodes of one peer, plus derived knowledge queries."""
 
-    __slots__ = ("peer_id", "space", "nodes", "version")
+    __slots__ = ("peer_id", "space", "nodes", "version", "_canon")
 
     def __init__(self, peer_id: int, space: IdSpace) -> None:
         space.check_id(peer_id)
@@ -330,6 +330,11 @@ class PeerState:
         #: every effective state change, compared cheaply by the
         #: activity-tracked scheduler
         self.version = 0
+        #: (version, tuple) memo of :meth:`canonical` — valid exactly
+        #: while the version has not moved, because every effective
+        #: mutation bumps it (the same invariant the incremental engine
+        #: already relies on)
+        self._canon = (-1, None)
         self.nodes: Dict[int, LocalNode] = {
             0: LocalNode(make_ref(space, peer_id, 0), self)
         }
@@ -444,11 +449,22 @@ class PeerState:
     # snapshots
     # ------------------------------------------------------------------
     def canonical(self) -> tuple:
-        """Deterministic peer-state tuple for fingerprints."""
-        return (
+        """Deterministic peer-state tuple for fingerprints.
+
+        Cached keyed on :attr:`version`: quiescence probes and global
+        fingerprints of unchanged peers return the memoized tuple
+        instead of rebuilding it — the scan cost of a full fingerprint
+        then scales with the peers that actually changed.
+        """
+        cached_version, cached = self._canon
+        if cached_version == self.version:
+            return cached
+        value = (
             self.peer_id,
             tuple(self.nodes[level].canonical() for level in sorted(self.nodes)),
         )
+        self._canon = (self.version, value)
+        return value
 
     def edge_count(self) -> int:
         """Total outgoing edges of this peer (all kinds + wrap pointers)."""

@@ -2,11 +2,18 @@
 
 The paper assumes fully synchronous rounds.  Practical systems are not
 synchronous; the standard bridge is *fair scheduling*: in each round an
-adversary (here: independent coin flips with activation probability
-``p``) picks which peers execute, subject to every peer being activated
-infinitely often.  Self-stabilization should survive — convergence just
-stretches by roughly ``1/p`` — because a sleeping peer's state and
-inbox are simply frozen.
+adversary picks which peers execute, subject to every peer being
+activated infinitely often.  Self-stabilization should survive —
+convergence just stretches by roughly ``1/p`` — because a sleeping
+peer's state and inbox are simply frozen.
+
+The activation adversary is a
+:class:`repro.netsim.timemodel.SeededPartialActivation` daemon
+installed on the network's time model: the scheduler consults it every
+round, so the experiment contains no activation plumbing of its own
+(and the same daemon drives both simulation kernels identically; the
+``unfair`` and ``round_robin`` daemons are available for harsher or
+perfectly fair adversaries).
 
 Convergence is detected by reaching the ideal topology (the
 configuration-fingerprint criterion does not apply: under random
@@ -15,7 +22,6 @@ activation the in-flight flows never repeat deterministically).
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Sequence
 
 from repro.core.ideal import compute_ideal
@@ -41,19 +47,18 @@ def rounds_to_ideal_under_activation(
 ) -> int:
     """Rounds until the ideal topology is reached with activation ``p``.
 
-    The activation sequence is seeded, so every cell is reproducible.
+    The daemon's coin flips are seeded, so every cell is reproducible.
     """
     if not 0.0 < activation <= 1.0:
         raise ValueError(f"activation must be in (0, 1], got {activation}")
     net = build_random_network(n=n, seed=seed)
     ideal = compute_ideal(net.space, net.peer_ids)
-    rng = random.Random((seed * 1_000_003) ^ 0xA5)
+    if activation < 1.0:
+        net.set_daemon(
+            {"kind": "partial", "p": activation, "seed": (seed * 1_000_003) ^ 0xA5}
+        )
     for executed in range(1, max_rounds + 1):
-        if activation >= 1.0:
-            net.run_round()
-        else:
-            active = {pid for pid in net.peer_ids if rng.random() < activation}
-            net.run_round(active)
+        net.run_round()
         if net.matches_ideal(ideal):
             return executed
     raise RuntimeError(f"ideal not reached within {max_rounds} rounds (p={activation})")

@@ -75,12 +75,19 @@ def run_scenarios(
     names: Optional[Sequence[str]] = None,
     n: int = DEFAULT_N,
     root_seed: int = DEFAULT_ROOT_SEED,
+    overrides: Optional[dict] = None,
 ) -> List[ScenarioReport]:
-    """Execute the named campaigns (default: the whole library)."""
+    """Execute the named campaigns (default: the whole library).
+
+    ``overrides`` are extra :meth:`ScenarioSpec.with_overrides` fields
+    applied to every campaign — the CLI uses this to run the whole
+    sweep under a time model (``--all --latency-model ...``).
+    """
     reports: List[ScenarioReport] = []
     for name in names if names is not None else scenario_names():
         seed = SeedSequence(root_seed).child("scenario-exp", name, n=n).seed()
-        reports.append(run_scenario(make_scenario(name, n=n, seed=seed)))
+        spec = make_scenario(name, n=n, seed=seed, **(overrides or {}))
+        reports.append(run_scenario(spec))
     return reports
 
 

@@ -10,15 +10,27 @@ baseline and the linearization baseline all run on it.
 
 from repro.netsim.messages import Envelope
 from repro.netsim.scheduler import Actor, RoundContext, SynchronousScheduler
+from repro.netsim.timemodel import (
+    ActivationDaemon,
+    DeliveryModel,
+    TimeModel,
+    make_daemon,
+    make_delivery_model,
+)
 from repro.netsim.trace import RoundStats, TraceRecorder
 from repro.netsim.rng import SeedSequence
 
 __all__ = [
+    "ActivationDaemon",
     "Actor",
+    "DeliveryModel",
     "Envelope",
     "RoundContext",
     "RoundStats",
     "SeedSequence",
     "SynchronousScheduler",
+    "TimeModel",
     "TraceRecorder",
+    "make_daemon",
+    "make_delivery_model",
 ]

@@ -64,6 +64,32 @@ def envelope_fingerprint(env: Envelope) -> int:
         return hash((env.target, repr(canon))) & HASH_MASK
 
 
+def envelope_canon(env: Envelope) -> object:
+    """The hashable canonical pending identity of one payload.
+
+    Mirrors the identity used by :func:`envelope_fingerprint` and the
+    global network fingerprint, but returns the value itself (for exact
+    multiset comparisons) instead of a hash.  Falls back to ``repr``
+    for unhashable payloads without ``canonical()`` (generic unit-test
+    actors) — exactness guarantees only cover canonical payloads.
+    """
+    payload = env.payload
+    canon = payload.canonical() if hasattr(payload, "canonical") else payload
+    try:
+        hash(canon)
+    except TypeError:
+        return repr(canon)
+    return canon
+
+
+def future_fingerprint(env: Envelope, remaining: int) -> int:
+    """Fingerprint contribution of a scheduled (not yet matured)
+    delivery: the pending identity extended with the remaining delay in
+    rounds — two configurations holding the same envelope at different
+    maturities are different configurations."""
+    return hash((env.target, envelope_canon(env), remaining)) & HASH_MASK
+
+
 def outbox_fingerprint(outbox: Sequence[Envelope]) -> int:
     """Multiset hash-sum of one actor's emissions (64-bit wrap-around)."""
     total = 0

@@ -58,18 +58,45 @@ decision because a sum of non-cryptographic hashes admits structured
 collisions.  ``changed_last_round`` is meaningful only for fully
 activated rounds; a partial-activation round (the asynchrony bridge)
 conservatively marks every actor dirty and reports ``True``.
+
+The time model (latency + activation daemons)
+---------------------------------------------
+
+The scheduler's notion of time is pluggable
+(:mod:`repro.netsim.timemodel`): a :class:`DeliveryModel` assigns every
+send a delivery delay in rounds and an :class:`ActivationDaemon` picks
+the active set when ``run_round`` is called without an explicit one.
+Delays beyond one round park the envelope in a **delivery-round-keyed
+queue** (``_future``); it matures — drop filter applied, inbox appended
+— at the end of the round before its consumption round.  Exactness
+rules under non-unit delivery:
+
+* a matured delayed envelope dirties its receiver with the one-round
+  carry, exactly like a :meth:`post` (the inbox differs from the replay
+  baseline at the delivery round and again when the one-shot delivery
+  vanishes), so the replay induction never sees a delayed delivery;
+* scheduled envelopes are part of the configuration: they enter
+  :meth:`config_hash` and the network fingerprint keyed by their
+  *remaining* delay, and :attr:`changed_last_round` is computed from an
+  exact multiset comparison of the whole pending structure (inbox +
+  future, O(pending) per round) instead of the unit-mode flow flags —
+  the unit model keeps the O(active-work) fast path bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence, Set
+from collections import Counter
+from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.netsim.messages import (
     HASH_MASK as _MASK,
     Envelope,
+    envelope_canon as _envelope_canon,
     envelope_fingerprint as _envelope_hash,
+    future_fingerprint as _future_hash,
     outbox_fingerprint as _outbox_hash,
 )
+from repro.netsim.timemodel import TimeModel, make_daemon, make_delivery_model
 from repro.netsim.trace import TraceRecorder
 
 
@@ -138,11 +165,29 @@ class SynchronousScheduler:
         self,
         trace: Optional[TraceRecorder] = None,
         activity_tracking: bool = True,
+        time_model: Optional[TimeModel] = None,
     ) -> None:
         self._actors: Dict[Hashable, Actor] = {}
         self._inboxes: Dict[Hashable, List[Envelope]] = {}
         self._round = 0
         self._trace = trace
+        #: the pluggable notion of time (delivery latency + activation)
+        self.time_model = time_model if time_model is not None else TimeModel.unit()
+        self._delivery = self.time_model.delivery
+        self._daemon = self.time_model.daemon
+        #: delivery-round-keyed queue of delayed sends: consumption
+        #: round -> envelopes, drained at the end of the preceding round
+        self._future: Dict[int, List[Envelope]] = {}
+        #: exact pending multiset at the last boundary, keyed
+        #: (remaining, target, canonical) — maintained only while the
+        #: delivery model is non-unit or scheduled envelopes exist (the
+        #: "token mode" of changed_last_round); None otherwise
+        self._prev_pending: Optional[Counter] = None
+        #: forces the pending part of changed_last_round for one round
+        #: (mid-round posts under token mode cannot be attributed)
+        self._pending_force_changed = False
+        #: the active set the last round ran with (None = full)
+        self.active_last_round: Optional[frozenset] = None
         #: messages addressed to unregistered actors in the last round
         self.dropped_last_round = 0
         #: optional fault filter: ``filter(env) -> True`` silently drops
@@ -239,6 +284,11 @@ class SynchronousScheduler:
             if box:
                 for env in box:
                     self._pending_hash = (self._pending_hash - _envelope_hash(env)) & _MASK
+                    if self._prev_pending is not None:
+                        # the envelopes die with the actor: the boundary
+                        # comparison must start from the post-removal
+                        # configuration, like a fresh full fingerprint
+                        self._counter_remove((0, env.target, _envelope_canon(env)))
             h = self._tok_hash.pop(key, None)
             if h is not None:
                 self._state_hash = (self._state_hash - h) & _MASK
@@ -346,16 +396,138 @@ class SynchronousScheduler:
         """Whether a delivery-time fault filter is currently installed."""
         return self._drop_filter is not None
 
+    # ------------------------------------------------------------------
+    # time model (repro.netsim.timemodel)
+    # ------------------------------------------------------------------
+    def set_delivery_model(self, model) -> None:
+        """Install a delivery model (instance, kind name, or spec dict).
+
+        Effective for every send from the next round on; envelopes
+        already scheduled keep their assigned delivery rounds.  Like
+        :meth:`set_drop_filter`, a model change is a flow event for the
+        activity-tracked kernel: every actor's upcoming inboxes may
+        differ from their replay baselines, so all actors are marked
+        dirty with the one-round carry.  Installing a model that is
+        observably unit (``is_unit``) over another unit model is a
+        no-op, keeping the fast path and the exact change flag intact.
+        """
+        model = make_delivery_model(model)
+        old = self._delivery
+        if (model.is_unit and old.is_unit) or model.to_dict() == old.to_dict():
+            return
+        self._delivery = model
+        self.time_model = TimeModel(model, self._daemon)
+        if self.activity_tracking:
+            for key in self._actors:
+                self._dirty.add(key)
+                self._dirty_carry.add(key)
+            self._flow_flag = True
+
+    def set_daemon(self, daemon) -> None:
+        """Install an activation daemon (instance, kind name, or spec
+        dict); consulted by :meth:`run_round` when no explicit active
+        set is passed.  Partial rounds are conservative for the
+        activity-tracked kernel (every actor re-baselines), so no extra
+        bookkeeping is needed here.
+        """
+        self._daemon = make_daemon(daemon)
+        self.time_model = TimeModel(self._delivery, self._daemon)
+
+    def delay_bound(self) -> int:
+        """The largest delay the current delivery model can assign."""
+        return self._delivery.delay_bound()
+
+    def future_pending(self) -> List[Tuple[int, Envelope]]:
+        """Scheduled (not yet matured) deliveries as ``(remaining, env)``.
+
+        ``remaining`` counts rounds until consumption relative to the
+        current boundary (inbox envelopes would be 0; scheduled ones are
+        >= 1).  Part of the configuration: the network fingerprint
+        appends these entries, so two configurations differing only in
+        message maturity compare different.
+        """
+        out: List[Tuple[int, Envelope]] = []
+        for t in sorted(self._future):
+            for env in self._future[t]:
+                out.append((t - self._round, env))
+        return out
+
     def config_hash(self) -> tuple:
         """The rolling configuration hash ``(states, pending)``.
 
         A 64-bit multiset-sum fingerprint of all tracked actor states
         plus all in-flight messages, maintained incrementally from dirty
-        actors and delivered/expired envelopes only.  Two equal
-        configurations always hash equal; unequal configurations collide
-        with probability ~2^-64.  Only meaningful with activity tracking.
+        actors and delivered/expired envelopes only.  Scheduled future
+        deliveries contribute keyed by their remaining delay (computed
+        on demand — the future queue is empty under unit delivery).
+        Two equal configurations always hash equal; unequal
+        configurations collide with probability ~2^-64.  Only meaningful
+        with activity tracking.
         """
-        return (self._state_hash, self._pending_hash)
+        pending = self._pending_hash
+        if self._future:
+            for t, batch in self._future.items():
+                remaining = t - self._round
+                for env in batch:
+                    pending = (pending + _future_hash(env, remaining)) & _MASK
+        return (self._state_hash, pending)
+
+    # -- token-mode internals (exact pending comparison under latency) --
+    def _counter_remove(self, entry: tuple) -> None:
+        """Decrement one pending-identity count (drop zeros so Counter
+        equality stays well-defined on every supported Python)."""
+        prev = self._prev_pending
+        count = prev.get(entry, 0)
+        if count <= 1:
+            prev.pop(entry, None)
+        else:
+            prev[entry] = count - 1
+
+    def _pending_counter(self) -> Counter:
+        """The exact pending multiset, keyed ``(remaining, target,
+        canonical)`` — called at the end of a round, before the round
+        counter advances, so inbox envelopes (consumed next round) get
+        remaining 0 and scheduled ones >= 1."""
+        cur: Counter = Counter()
+        for box in self._inboxes.values():
+            for env in box:
+                cur[(0, env.target, _envelope_canon(env))] += 1
+        base = self._round + 1
+        for t, batch in self._future.items():
+            remaining = t - base
+            for env in batch:
+                cur[(remaining, env.target, _envelope_canon(env))] += 1
+        return cur
+
+    def _drain_matured(self, round_no: int) -> Tuple[int, int]:
+        """Deliver envelopes scheduled for consumption in ``round_no + 1``.
+
+        The delivery point of a delayed send: the drop filter applies
+        here (a partition installed mid-flight eats the message), and
+        the activity-tracked kernel marks each receiver dirty with the
+        one-round carry — the exact treatment of a :meth:`post`: the
+        receiver's inbox differs from its replay baseline at the
+        delivery round AND at the round after, when the one-shot
+        delivery vanishes again.  Returns ``(delivered, dropped)``.
+        """
+        batch = self._future.pop(round_no + 1, None)
+        if not batch:
+            return 0, 0
+        delivered = 0
+        dropped = 0
+        flt = self._drop_filter
+        tracking = self.activity_tracking
+        for env in batch:
+            box = self._inboxes.get(env.target)
+            if box is None or (flt is not None and flt(env)):
+                dropped += 1
+                continue
+            box.append(env)
+            delivered += 1
+            if tracking:
+                self._dirty.add(env.target)
+                self._dirty_carry.add(env.target)
+        return delivered, dropped
 
     # ------------------------------------------------------------------
     # execution
@@ -366,8 +538,12 @@ class SynchronousScheduler:
         return self._round
 
     def pending_messages(self) -> int:
-        """Messages waiting in inboxes for the next round."""
-        return sum(len(box) for box in self._inboxes.values())
+        """Messages in flight: next round's inboxes plus scheduled
+        (not yet matured) delayed deliveries."""
+        count = sum(len(box) for box in self._inboxes.values())
+        if self._future:
+            count += sum(len(batch) for batch in self._future.values())
+        return count
 
     def all_pending(self) -> List[Envelope]:
         """All messages waiting for the next round (snapshot copy).
@@ -390,6 +566,19 @@ class SynchronousScheduler:
         box = self._inboxes.get(envelope.target)
         if box is None:
             return False
+        delay = 1 if self._delivery.is_unit else self._delivery.delay(envelope)
+        if delay > 1:
+            # a delayed injection behaves like a send from the previous
+            # round: it matures (drop filter applied there) for
+            # consumption `delay` steps from the target's next step
+            t = self._round + delay if self._in_round else self._round + delay - 1
+            self._future.setdefault(t, []).append(envelope)
+            if self.activity_tracking and self._prev_pending is not None:
+                if self._in_round:
+                    self._pending_force_changed = True
+                else:
+                    self._prev_pending[(delay - 1, envelope.target, _envelope_canon(envelope))] += 1
+            return True
         if self._drop_filter is not None and self._drop_filter(envelope):
             return False
         box.append(envelope)
@@ -405,6 +594,11 @@ class SynchronousScheduler:
                 self._posted_mid_round.add(envelope.target)
             self._pending_hash = (self._pending_hash + _envelope_hash(envelope)) & _MASK
             self._flow_flag = True  # one-shot injection: next boundary differs
+            if self._prev_pending is not None:
+                if self._in_round:
+                    self._pending_force_changed = True
+                else:
+                    self._prev_pending[(0, envelope.target, _envelope_canon(envelope))] += 1
         return True
 
     def run_round(self, active: Optional[set] = None) -> None:
@@ -413,12 +607,16 @@ class SynchronousScheduler:
         ``active`` restricts which actors step this round (fair partial
         activation — the standard bridge from the synchronous model
         toward asynchrony: a sleeping actor keeps its state and inbox
-        untouched).  ``None`` activates everyone, the paper's model.
+        untouched).  ``None`` consults the activation daemon of the
+        time model, which defaults to everyone — the paper's model.
         """
+        if active is None and not self._daemon.is_full:
+            active = self._daemon.select(self._round, sorted(self._actors))
+        self.active_last_round = frozenset(active) if active is not None else None
         if not self.activity_tracking:
             self._run_round_full(active)
         elif active is not None:
-            self._run_round_partial_tracked(active)
+            self._run_round_partial_tracked(set(active))
         else:
             self._run_round_tracked()
 
@@ -442,11 +640,18 @@ class SynchronousScheduler:
             outboxes.append(ctx._outbox)
 
         sent = 0
-        dropped = 0
+        _, dropped = self._drain_matured(round_no)
         flt = self._drop_filter
+        delivery = self._delivery
+        unit = delivery.is_unit
         for outbox in outboxes:
             for env in outbox:
                 sent += 1
+                if not unit:
+                    d = delivery.delay(env)
+                    if d > 1:
+                        self._future.setdefault(round_no + d, []).append(env)
+                        continue
                 box = self._inboxes.get(env.target)
                 if box is None or (flt is not None and flt(env)):
                     dropped += 1
@@ -557,12 +762,25 @@ class SynchronousScheduler:
                 new_pending = (new_pending + self._out_hash.get(key, 0)) & _MASK
 
         sent = 0
-        dropped = 0
         inboxes = self._inboxes
         flt = self._drop_filter
+        delivery = self._delivery
+        unit = delivery.is_unit
+        # token mode: an exact multiset comparison of the whole pending
+        # structure replaces the unit-mode flow flags while non-unit
+        # delivery is (or until recently was) in effect — entered when a
+        # non-unit model is installed or scheduled envelopes exist, left
+        # one round after the last scheduled envelope drained
+        token_mode = (not unit) or bool(self._future) or self._prev_pending is not None
+        matured, dropped = self._drain_matured(round_no)
         for outbox in contributions:
             for env in outbox:
                 sent += 1
+                if not unit:
+                    d = delivery.delay(env)
+                    if d > 1:
+                        self._future.setdefault(round_no + d, []).append(env)
+                        continue
                 box = inboxes.get(env.target)
                 if box is None or (flt is not None and flt(env)):
                     dropped += 1
@@ -570,8 +788,33 @@ class SynchronousScheduler:
                     continue
                 box.append(env)
         self.dropped_last_round = dropped
-        self._pending_hash = new_pending
-        self.changed_last_round = state_changed_any or flow_changed
+        if token_mode:
+            cur = self._pending_counter()
+            pending_changed = (
+                self._pending_force_changed
+                or self._prev_pending is None
+                or cur != self._prev_pending
+            )
+            self._pending_force_changed = False
+            # the rolling inbox hash cannot be derived from outbox
+            # contributions under latency (some sends were scheduled,
+            # matured envelopes arrived): recompute it exactly
+            pending = 0
+            for box in inboxes.values():
+                for env in box:
+                    pending = (pending + _envelope_hash(env)) & _MASK
+            self._pending_hash = pending
+            if unit and not self._future and not matured:
+                # fully drained AND no matured delivery still sitting in
+                # an inbox: the next boundary's pending set is entirely
+                # unit-produced, so the flow flags are sound again
+                self._prev_pending = None
+            else:
+                self._prev_pending = cur
+            self.changed_last_round = state_changed_any or pending_changed
+        else:
+            self._pending_hash = new_pending
+            self.changed_last_round = state_changed_any or flow_changed
         self.state_changed_keys = changed_keys
         self.executed_last_round = executed
         self.replayed_last_round = replayed
@@ -633,11 +876,18 @@ class SynchronousScheduler:
             self._out_hash[key] = _outbox_hash(out)
 
         sent = 0
-        dropped = 0
+        matured, dropped = self._drain_matured(round_no)
         flt = self._drop_filter
+        delivery = self._delivery
+        unit = delivery.is_unit
         for outbox in outboxes:
             for env in outbox:
                 sent += 1
+                if not unit:
+                    d = delivery.delay(env)
+                    if d > 1:
+                        self._future.setdefault(round_no + d, []).append(env)
+                        continue
                 box = self._inboxes.get(env.target)
                 if box is None or (flt is not None and flt(env)):
                     dropped += 1
@@ -651,6 +901,13 @@ class SynchronousScheduler:
             for env in box:
                 pending = (pending + _envelope_hash(env)) & _MASK
         self._pending_hash = pending
+        # keep the token-mode baseline current so a later *full* round's
+        # exact pending comparison starts from this boundary
+        self._pending_force_changed = False
+        if unit and not self._future and not matured:
+            self._prev_pending = None
+        else:
+            self._prev_pending = self._pending_counter()
         self.changed_last_round = True  # conservative; see docstring
         self._flow_flag = True  # sleepers' flow resumes later: boundary differs
         self.state_changed_keys = changed_keys

@@ -282,6 +282,103 @@ def heal(
 
 
 # ----------------------------------------------------------------------
+# time-model adversity (repro.netsim.timemodel)
+# ----------------------------------------------------------------------
+@event_kind("set_latency")
+def set_latency(ctx: EventContext, rng: random.Random, kind: str = "unit", **params: Any) -> None:
+    """Install a delivery model mid-campaign (``kind="unit"`` restores
+    the paper's synchronous delivery).
+
+    ``params`` are the model's constructor knobs (see
+    :data:`repro.netsim.timemodel.DELIVERY_KINDS`); the change is a
+    kernel-exact flow event — the scheduler re-baselines every actor,
+    identically on both kernels, and envelopes already in flight keep
+    their assigned delivery rounds.
+    """
+    ctx.net.set_delivery_model({"kind": kind, **params})
+    ctx.count("set_latency")
+
+
+@event_kind("jitter_storm")
+def jitter_storm(
+    ctx: EventContext,
+    rng: random.Random,
+    bound: int = 3,
+    seed: Optional[int] = None,
+) -> None:
+    """Adversarial reorder-within-bound jitter on every link.
+
+    Each message draws a seeded delay in ``[1, bound]`` keyed on its
+    content, so distinct messages on one link overtake each other — the
+    asynchronous-delivery adversary of the universal monotonic-
+    searchability setting, bounded so starvation stays impossible.
+    """
+    if seed is None:
+        seed = rng.randrange(2**63)
+    ctx.net.set_delivery_model({"kind": "reorder", "bound": int(bound), "seed": int(seed)})
+    ctx.count("jitter_storm")
+
+
+@event_kind("slow_links")
+def slow_links(
+    ctx: EventContext,
+    rng: random.Random,
+    fraction: float = 0.25,
+    delay: int = 4,
+    seed: Optional[int] = None,
+) -> None:
+    """A seeded fraction of directed links degrades to ``delay`` rounds.
+
+    The heterogeneous-bandwidth population: most links stay fast, a
+    seeded minority turns slow, and stabilization plus traffic must
+    live with the mix (no message is ever lost — only late).
+    """
+    if seed is None:
+        seed = rng.randrange(2**63)
+    ctx.net.set_delivery_model(
+        {"kind": "slow_links", "fraction": float(fraction), "delay": int(delay), "seed": int(seed)}
+    )
+    ctx.count("slow_links")
+
+
+@event_kind("latency_partition")
+def latency_partition(
+    ctx: EventContext,
+    rng: random.Random,
+    mode: str = "id_split",
+    fraction: float = 0.5,
+    delay: int = 5,
+) -> None:
+    """Links crossing a cut turn slow — the partition's gentle sibling.
+
+    Same cut geometry as the ``partition`` event, but cross-cut
+    messages arrive ``delay`` rounds late instead of never: the WAN
+    degradation where one region keeps answering, slowly.  Restore with
+    ``set_latency`` (kind ``unit``).
+    """
+    side_a = _partition_sides(ctx, rng, mode, fraction)
+    ctx.net.set_delivery_model(
+        {"kind": "cross_cut", "side_a": sorted(side_a), "delay": int(delay)}
+    )
+    ctx.count("latency_partition")
+
+
+@event_kind("set_daemon")
+def set_daemon(ctx: EventContext, rng: random.Random, kind: str = "full", **params: Any) -> None:
+    """Install an activation daemon mid-campaign (``kind="full"``
+    restores the paper's every-actor rounds).
+
+    ``params`` are the daemon's constructor knobs (see
+    :data:`repro.netsim.timemodel.DAEMON_KINDS`).  Under a non-full
+    daemon the configuration generally never repeats round-to-round,
+    so campaigns should restore ``full`` before expecting recovery to
+    detect a fixpoint.
+    """
+    ctx.net.set_daemon({"kind": kind, **params})
+    ctx.count("set_daemon")
+
+
+# ----------------------------------------------------------------------
 # targeted state corruption
 # ----------------------------------------------------------------------
 @event_kind("poison_fingers")

@@ -178,6 +178,13 @@ def run_scenario(spec: ScenarioSpec, incremental: bool = True) -> ScenarioReport
     """
     seq = SeedSequence(spec.seed).child("scenario", spec.name, n=spec.n)
     net = _build_start(spec, seq, incremental)
+    # campaign-wide time model: installed after the (unit-time) start
+    # phase so pre-stabilized starts build fast, before any traffic or
+    # adversity round runs; both kernels install identically
+    if spec.latency is not None:
+        net.set_delivery_model(dict(spec.latency))
+    if spec.daemon is not None:
+        net.set_daemon(dict(spec.daemon))
     peers_start = len(net.peers)
 
     plane: Optional[TrafficPlane] = None
@@ -187,6 +194,9 @@ def run_scenario(spec: ScenarioSpec, incremental: bool = True) -> ScenarioReport
         if t.needs_store():
             store = KeyValueStore(ReChordRouter(net))
         plane = TrafficPlane(net, store=store, default_deadline=t.deadline)
+        # no explicit per-op deadline: ops fall through to the plane's
+        # default, which scales with the installed delivery model's
+        # wire-delay bound (identical to t.deadline under unit delivery)
         WorkloadGenerator(
             plane,
             rate=t.rate,
@@ -194,7 +204,6 @@ def run_scenario(spec: ScenarioSpec, incremental: bool = True) -> ScenarioReport
             key_universe=t.key_universe,
             popularity=t.popularity,
             zipf_s=t.zipf_s,
-            deadline=t.deadline,
             ttl=t.ttl,
             max_outstanding=t.max_outstanding,
             seed=seq.child("workload").seed(),

@@ -347,6 +347,119 @@ def _ring_split(n: int, seed: int) -> ScenarioSpec:
 
 
 # ----------------------------------------------------------------------
+# time-model adversity (latency + activation daemons)
+# ----------------------------------------------------------------------
+@scenario(
+    "jitter-storm",
+    "bounded message reordering on every link while churn bursts land",
+)
+def _jitter_storm(n: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="jitter-storm",
+        n=n,
+        seed=seed,
+        start="ideal",
+        rounds=26,
+        events=(
+            EventSpec(at=2, kind="jitter_storm", params={"bound": 3}),
+            EventSpec(at=8, kind="churn_burst", params={"events": 3}),
+        ),
+        traffic=MIXED_TRAFFIC,
+        description=(
+            "Every link draws a seeded delay in [1, 3] per message, so "
+            "deliveries reorder within the bound — the asynchronous "
+            "adversary of monotonic searchability — while a churn burst "
+            "lands mid-storm.  The jitter persists through recovery: "
+            "stabilization must reach its fixpoint on reordered flows."
+        ),
+    )
+
+
+@scenario(
+    "slow-links",
+    "a third of the links degrade to 3-round latency, then get repaired",
+)
+def _slow_links(n: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="slow-links",
+        n=n,
+        seed=seed,
+        start="ideal",
+        rounds=28,
+        events=(
+            EventSpec(at=2, kind="slow_links", params={"fraction": 0.3, "delay": 3}),
+            EventSpec(at=8, kind="crash_wave", params={"count": 2}),
+            EventSpec(at=20, kind="set_latency", params={"kind": "unit"}),
+        ),
+        traffic=MIXED_TRAFFIC,
+        description=(
+            "A seeded 30% of directed links turns slow (3 rounds) — the "
+            "heterogeneous-bandwidth population — and two peers crash "
+            "while repairs ride the degraded links; the operator then "
+            "upgrades the links back to unit latency."
+        ),
+    )
+
+
+@scenario(
+    "latency-partition",
+    "cross-cut links of an identifier arc slow to 5 rounds, then heal",
+)
+def _latency_partition(n: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="latency-partition",
+        n=n,
+        seed=seed,
+        start="ideal",
+        rounds=30,
+        events=(
+            EventSpec(
+                at=4,
+                kind="latency_partition",
+                params={"mode": "id_split", "fraction": 0.5, "delay": 5},
+            ),
+            EventSpec(at=10, kind="flash_crowd", params={"count": 2}),
+            EventSpec(at=22, kind="set_latency", params={"kind": "unit"}),
+        ),
+        traffic=MIXED_TRAFFIC,
+        description=(
+            "The partition's gentle sibling: messages across an "
+            "identifier-arc cut arrive five rounds late instead of "
+            "never.  Cross-cut operations stretch toward their "
+            "deadlines while joins land on the slow side, then the WAN "
+            "link recovers."
+        ),
+    )
+
+
+@scenario(
+    "brownout",
+    "a seeded-partial activation daemon idles 40% of peers, then lifts",
+)
+def _brownout(n: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="brownout",
+        n=n,
+        seed=seed,
+        start="ideal",
+        rounds=26,
+        events=(
+            EventSpec(at=4, kind="set_daemon", params={"kind": "partial", "p": 0.6}),
+            EventSpec(at=8, kind="churn_burst", params={"events": 3}),
+            EventSpec(at=20, kind="set_daemon", params={"kind": "full"}),
+        ),
+        traffic=MIXED_TRAFFIC,
+        description=(
+            "An activation brownout: each round only a seeded ~60% of "
+            "peers execute (the fair-scheduling bridge toward "
+            "asynchrony), churn lands mid-brownout, and full activation "
+            "returns before recovery — sleeping peers' inboxes "
+            "accumulate and drain without breaking kernel equivalence."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # adversarial starts under load
 # ----------------------------------------------------------------------
 @scenario(

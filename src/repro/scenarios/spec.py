@@ -135,6 +135,14 @@ class ScenarioSpec:
 
     ``sample_every`` sets the cadence of the repair-curve samples
     (local-checker violations, pending messages, outstanding ops).
+
+    ``latency`` / ``daemon`` install a delivery model / activation
+    daemon (spec dicts, see :mod:`repro.netsim.timemodel`) for the
+    whole campaign — the time model the network starts the adversity
+    window under; mid-campaign changes go through the ``set_latency``,
+    ``jitter_storm``, ``slow_links``, ``latency_partition`` and
+    ``set_daemon`` events instead.  ``None`` keeps the paper's model
+    (unit delivery, full activation).
     """
 
     name: str
@@ -148,10 +156,21 @@ class ScenarioSpec:
     sample_every: int = 2
     max_recovery_rounds: int = 5000
     description: str = ""
+    latency: Optional[Dict[str, Any]] = None
+    daemon: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.start not in START_KINDS:
             raise ValueError(f"unknown start {self.start!r}; choose from {START_KINDS}")
+        # fail loudly at construction, not mid-campaign
+        if self.latency is not None:
+            from repro.netsim.timemodel import make_delivery_model
+
+            make_delivery_model(dict(self.latency))
+        if self.daemon is not None:
+            from repro.netsim.timemodel import make_daemon
+
+            make_daemon(dict(self.daemon))
         if self.n < 1:
             raise ValueError("need at least one peer")
         if self.rounds < 0:
@@ -186,6 +205,8 @@ class ScenarioSpec:
             "sample_every": self.sample_every,
             "max_recovery_rounds": self.max_recovery_rounds,
             "description": self.description,
+            "latency": None if self.latency is None else dict(self.latency),
+            "daemon": None if self.daemon is None else dict(self.daemon),
         }
 
     @staticmethod

@@ -154,11 +154,25 @@ class TrafficPlane:
         return ids[i] if i < len(ids) else ids[0]
 
     def ttl_for(self) -> int:
-        """Default TTL: generous multiple of the O(log n) path bound."""
+        """Default TTL: generous multiple of the O(log n) path bound.
+
+        TTL counts *hops*, not rounds, so wire delay does not consume
+        it — only the deadline (rounds) scales with the delivery model.
+        """
         if self._default_ttl is not None:
             return self._default_ttl
         n = max(2, len(self.net.peers))
         return 4 * n.bit_length() + 16
+
+    def deadline_for(self) -> int:
+        """Default deadline in rounds, scaled by the wire-delay bound.
+
+        Under unit delivery this is exactly ``default_deadline``; under
+        a latency model every hop may cost up to ``delay_bound()``
+        rounds on the wire, so the same hop budget needs proportionally
+        more rounds before it counts as a timeout.
+        """
+        return self.default_deadline * max(1, self.net.scheduler.delay_bound())
 
     # ------------------------------------------------------------------
     # injection
@@ -196,7 +210,7 @@ class TrafficPlane:
             origin=origin,
             kid=kid,
             issue_round=issue_round,
-            deadline=issue_round + (deadline if deadline is not None else self.default_deadline),
+            deadline=issue_round + (deadline if deadline is not None else self.deadline_for()),
         )
         request = LookupRequest(
             op=op,

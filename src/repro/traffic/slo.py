@@ -79,6 +79,18 @@ class CompletedOp:
         """Whether the request reached the true responsible peer."""
         return self.outcome in ROUTED_OUTCOMES
 
+    @property
+    def wire_delay(self) -> int:
+        """The wire-delay component of the latency, in rounds.
+
+        Under unit delivery a forwarded request costs exactly one round
+        per hop plus one for the reply transit (a self-answered op costs
+        zero), so this is 0; under a latency model every extra round a
+        slow link held the message accumulates here.
+        """
+        baseline = self.hops + 1 if self.hops else 0
+        return max(0, self.latency - baseline)
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
@@ -252,6 +264,11 @@ class SLOCollector:
             out["latency_mean"] = round(sum(lats) / len(lats), 2)
             out["latency_p95"] = percentile(lats, 95)
             out["latency_max"] = max(lats)
+            # wire-delay component: rounds spent on slow links beyond
+            # the one-round-per-hop baseline (0 under unit delivery)
+            wire = [c.wire_delay for c in self.completed if c.routed]
+            out["wire_delay_mean"] = round(sum(wire) / len(wire), 2)
+            out["wire_delay_max"] = max(wire)
         if hops:
             out["hops_mean"] = round(sum(hops) / len(hops), 2)
             out["hops_max"] = max(hops)

@@ -1,0 +1,453 @@
+"""The pluggable time model: delivery models, activation daemons, and
+the exactness of the simulation kernels under non-unit latency.
+
+Four layers of guarantees:
+
+* **model layer** — delivery models and daemons are deterministic pure
+  functions of their seeds and inputs, round-trip through spec dicts,
+  and respect their bounds;
+* **semantics** — a delay-``k`` send is consumed exactly ``k`` rounds
+  later, matured deliveries respect the drop filter, and scheduled
+  envelopes are part of the configuration (fingerprints differ by
+  maturity);
+* **engine equivalence** — the dirty-set kernel stays round-for-round
+  equivalent to the full-scan kernel under latency models, daemons, and
+  the combined adversity of latency + partition + traffic + churn in
+  one seeded run;
+* **exact change flag** — ``changed_last_round`` equals a genuine
+  full-fingerprint comparison at every boundary while non-unit delivery
+  is in effect (the token-mode pending comparison).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.lookup import ReChordRouter
+from repro.dht.storage import KeyValueStore
+from repro.netsim.messages import Envelope
+from repro.netsim.scheduler import SynchronousScheduler
+from repro.netsim.timemodel import (
+    DAEMON_KINDS,
+    DELIVERY_KINDS,
+    TimeModel,
+    make_daemon,
+    make_delivery_model,
+    stable_u64,
+)
+from repro.traffic import TrafficPlane, WorkloadGenerator
+from repro.traffic.messages import OP_GET, OP_LOOKUP, OP_PUT
+from repro.workloads.initial import build_random_network, random_peer_ids
+
+#: non-unit delivery specs exercised throughout
+LATENCY_MODELS = (
+    {"kind": "constant", "delay": 3},
+    {"kind": "slow_links", "fraction": 0.4, "delay": 3, "seed": 11},
+    {"kind": "lognormal", "sigma": 0.9, "cap": 5, "seed": 3},
+    {"kind": "regions", "regions": 2, "delay": 4, "seed": 5},
+    {"kind": "reorder", "bound": 4, "seed": 7},
+)
+
+
+class Recorder:
+    """Generic actor: records per-round inboxes, emits nothing."""
+
+    def __init__(self):
+        self.seen = []
+
+    def step(self, inbox, ctx):
+        self.seen.append([env.payload for env in inbox])
+
+
+class TestModels:
+    @pytest.mark.parametrize("spec", [{"kind": k} for k in sorted(DELIVERY_KINDS)])
+    def test_delivery_spec_round_trip(self, spec):
+        model = make_delivery_model(spec)
+        again = make_delivery_model(model.to_dict())
+        assert again.to_dict() == model.to_dict()
+
+    @pytest.mark.parametrize("spec", [{"kind": k} for k in sorted(DAEMON_KINDS)])
+    def test_daemon_spec_round_trip(self, spec):
+        daemon = make_daemon(spec)
+        assert make_daemon(daemon.to_dict()).to_dict() == daemon.to_dict()
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ValueError, match="unknown delivery model"):
+            make_delivery_model("warp")
+        with pytest.raises(ValueError, match="unknown daemon"):
+            make_daemon("warp")
+
+    @pytest.mark.parametrize("spec", LATENCY_MODELS)
+    def test_delays_deterministic_within_bound_and_self_links_unit(self, spec):
+        model = make_delivery_model(spec)
+        fresh = make_delivery_model(spec)
+        bound = model.delay_bound()
+        assert bound >= 2 and not model.is_unit
+        for s in range(6):
+            for t in range(6):
+                env = Envelope(s, t, ("payload", s, t))
+                d = model.delay(env)
+                assert 1 <= d <= bound
+                assert d == model.delay(env), "delay not deterministic"
+                assert d == fresh.delay(env), "delay depends on instance state"
+                if s == t:
+                    assert d == 1, "self-links must never be wire-delayed"
+
+    def test_reorder_actually_reorders_within_bound(self):
+        model = make_delivery_model({"kind": "reorder", "bound": 4, "seed": 1})
+        delays = {
+            model.delay(Envelope(1, 2, ("payload", i))) for i in range(32)
+        }
+        assert len(delays) > 1, "per-envelope jitter never varied"
+        assert max(delays) <= 4
+
+    def test_stable_u64_is_process_stable(self):
+        # frozen value: a change here breaks every seeded baseline
+        assert stable_u64("probe", 1) == stable_u64("probe", 1)
+        assert stable_u64("probe", 1) != stable_u64("probe", 2)
+
+    def test_constant_delay_one_counts_as_unit(self):
+        assert make_delivery_model({"kind": "constant", "delay": 1}).is_unit
+        assert make_daemon({"kind": "partial", "p": 1.0}).is_full
+        assert make_daemon({"kind": "round_robin", "groups": 1}).is_full
+
+    def test_time_model_dict_round_trip(self):
+        model = TimeModel({"kind": "constant", "delay": 2}, {"kind": "partial", "p": 0.5})
+        again = TimeModel.from_dict(model.to_dict())
+        assert again.to_dict() == model.to_dict()
+        assert not model.is_unit and TimeModel.unit().is_unit
+
+
+class TestDaemons:
+    KEYS = list(range(10))
+
+    def test_round_robin_is_exactly_fair(self):
+        daemon = make_daemon({"kind": "round_robin", "groups": 3})
+        counts = {k: 0 for k in self.KEYS}
+        for r in range(9):
+            for k in daemon.select(r, self.KEYS):
+                counts[k] += 1
+        assert all(c == 3 for c in counts.values())
+
+    def test_unfair_bounded_activates_everyone_once_per_window(self):
+        daemon = make_daemon({"kind": "unfair", "bound": 4, "seed": 2})
+        for window in range(3):
+            seen = set()
+            for r in range(4 * window, 4 * window + 4):
+                seen |= daemon.select(r, self.KEYS)
+            assert seen == set(self.KEYS)
+
+    def test_partial_selection_deterministic(self):
+        daemon = make_daemon({"kind": "partial", "p": 0.5, "seed": 9})
+        again = make_daemon({"kind": "partial", "p": 0.5, "seed": 9})
+        for r in range(8):
+            assert daemon.select(r, self.KEYS) == again.select(r, self.KEYS)
+
+    def test_scheduler_consults_daemon(self):
+        sched = SynchronousScheduler(activity_tracking=True)
+        actors = {k: Recorder() for k in range(4)}
+        for k, actor in actors.items():
+            sched.add_actor(k, actor)
+        sched.set_daemon({"kind": "round_robin", "groups": 2})
+        sched.run_round()
+        sched.run_round()
+        assert sched.active_last_round is not None
+        stepped = {k for k, a in actors.items() if a.seen}
+        assert stepped == set(actors), "round robin must reach everyone in a cycle"
+        assert all(len(a.seen) == 1 for a in actors.values())
+
+
+class TestDeliverySemantics:
+    def build(self, model):
+        sched = SynchronousScheduler(activity_tracking=True)
+        sink = Recorder()
+        sched.add_actor("sink", sink)
+        sched.add_actor("src", Recorder())
+        sched.set_delivery_model(model)
+        return sched, sink
+
+    @pytest.mark.parametrize("delay", [2, 4])
+    def test_post_consumed_exactly_delay_rounds_later(self, delay):
+        sched, sink = self.build({"kind": "constant", "delay": delay})
+        assert sched.post(Envelope("src", "sink", "late"))
+        assert sched.pending_messages() == 1
+        for r in range(delay - 1):
+            sched.run_round()
+            assert sink.seen[r] == [], f"arrived early at round {r}"
+        sched.run_round()
+        assert sink.seen[delay - 1] == ["late"]
+
+    def test_matured_delivery_respects_drop_filter(self):
+        sched, sink = self.build({"kind": "constant", "delay": 3})
+        sched.post(Envelope("src", "sink", "doomed"))
+        # the partition arrives while the message is on the wire
+        sched.run_round()
+        sched.set_drop_filter(lambda env: env.target == "sink")
+        sched.run_round()
+        sched.run_round()
+        assert all(not seen for seen in sink.seen)
+        assert sched.pending_messages() == 0
+
+    def test_matured_delivery_to_removed_actor_dropped(self):
+        sched, sink = self.build({"kind": "constant", "delay": 3})
+        sched.post(Envelope("src", "sink", "late"))
+        sched.run_round()
+        sched.remove_actor("sink")
+        before = sched.dropped_last_round
+        sched.run_round()
+        sched.run_round()
+        assert sched.pending_messages() == 0
+
+    def test_scheduled_envelopes_are_configuration(self):
+        """Two networks differing only in message maturity must
+        fingerprint different (the remaining-delay component)."""
+        a = build_random_network(n=6, seed=2)
+        b = build_random_network(n=6, seed=2)
+        for net in (a, b):
+            net.set_delivery_model({"kind": "constant", "delay": 4})
+        a.run_round()
+        assert a.fingerprint() != b.fingerprint()
+        assert a.scheduler.future_pending(), "no delayed envelope in flight"
+        b.run_round()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_unit_time_model_is_bit_identical_to_default(self):
+        a = build_random_network(n=8, seed=3)
+        b = build_random_network(n=8, seed=3)
+        b.set_delivery_model("unit")
+        b.set_daemon("full")
+        for _ in range(12):
+            a.run_round()
+            b.run_round()
+            assert a.fingerprint() == b.fingerprint()
+            assert a.incremental_fingerprint() == b.incremental_fingerprint()
+
+
+class TestEngineEquivalenceUnderLatency:
+    """tests/test_engine_equivalence.py extended to non-unit time."""
+
+    @pytest.mark.parametrize("spec", LATENCY_MODELS, ids=lambda s: s["kind"])
+    def test_lockstep_fingerprints_and_reports(self, spec):
+        a = build_random_network(n=9, seed=6, incremental=True)
+        b = build_random_network(n=9, seed=6, incremental=False)
+        a.set_delivery_model(spec)
+        b.set_delivery_model(spec)
+        for r in range(40):
+            a.run_round()
+            b.run_round()
+            assert a.fingerprint() == b.fingerprint(), f"diverged at round {r}"
+            assert a.counters().fires == b.counters().fires, f"counters at {r}"
+        ra = a.run_until_stable(max_rounds=6000)
+        rb = b.run_until_stable(max_rounds=6000)
+        assert ra == rb
+        assert a.matches_ideal() and b.matches_ideal()
+
+    @pytest.mark.parametrize(
+        "daemon",
+        [
+            {"kind": "partial", "p": 0.6, "seed": 3},
+            {"kind": "round_robin", "groups": 3},
+            {"kind": "unfair", "bound": 3, "seed": 1},
+        ],
+        ids=lambda d: d["kind"],
+    )
+    def test_daemon_lockstep_and_recovery(self, daemon):
+        a = build_random_network(n=9, seed=8, incremental=True)
+        b = build_random_network(n=9, seed=8, incremental=False)
+        a.set_daemon(daemon)
+        b.set_daemon(daemon)
+        for r in range(50):
+            a.run_round()
+            b.run_round()
+            assert a.fingerprint() == b.fingerprint(), f"diverged at round {r}"
+        a.set_daemon("full")
+        b.set_daemon("full")
+        ra = a.run_until_stable(max_rounds=6000)
+        rb = b.run_until_stable(max_rounds=6000)
+        assert ra == rb
+        assert a.matches_ideal()
+
+    def test_change_flag_exact_under_latency(self):
+        """The O(active)+O(pending) change flag equals a genuine full
+        fingerprint comparison at every boundary in token mode."""
+        net = build_random_network(n=8, seed=4, incremental=True)
+        net.set_delivery_model({"kind": "reorder", "bound": 3, "seed": 5})
+        prev = net.fingerprint()
+        for r in range(80):
+            net.run_round()
+            cur = net.fingerprint()
+            assert net.scheduler.changed_last_round == (cur != prev), f"round {r}"
+            prev = cur
+
+    def test_change_flag_exact_through_model_switches(self):
+        """Entering and leaving token mode (non-unit -> unit) keeps the
+        flag exact while the delivery queue drains."""
+        net = build_random_network(n=8, seed=14, incremental=True)
+        net.run_until_stable(max_rounds=4000)
+        prev = net.fingerprint()
+        net.set_delivery_model({"kind": "constant", "delay": 4})
+        for r in range(30):
+            if r == 15:
+                net.set_delivery_model("unit")
+            net.run_round()
+            cur = net.fingerprint()
+            assert net.scheduler.changed_last_round == (cur != prev), f"round {r}"
+            prev = cur
+        assert not net.scheduler.future_pending()
+
+    def test_combined_adversity_one_seeded_run(self):
+        """The satellite: incremental-vs-full equivalence with a random
+        latency model + drop-filter partition + live KV traffic + churn
+        flowing in one seeded run."""
+
+        def build(incremental):
+            net = build_random_network(n=12, seed=9, incremental=incremental)
+            net.run_until_stable(max_rounds=5000)
+            net.set_delivery_model({"kind": "reorder", "bound": 3, "seed": 21})
+            kv = KeyValueStore(ReChordRouter(net))
+            plane = TrafficPlane(net, store=kv)
+            WorkloadGenerator(
+                plane,
+                rate=1.5,
+                op_mix=((OP_LOOKUP, 0.5), (OP_PUT, 0.3), (OP_GET, 0.2)),
+                seed=9,
+            )
+            return net, plane
+
+        a_net, a_plane = build(True)
+        b_net, b_plane = build(False)
+        join_rng = random.Random(77)
+        for r in range(48):
+            if r == 8:
+                victim = a_net.peer_ids[4]
+                a_net.crash(victim)
+                b_net.crash(victim)
+            if r == 14:
+                ids = a_net.peer_ids
+                side = frozenset(ids[: len(ids) // 2])
+                flt = lambda env, _s=side: (env.sender in _s) != (env.target in _s)
+                a_net.scheduler.set_drop_filter(flt)
+                b_net.scheduler.set_drop_filter(flt)
+            if r == 26:
+                a_net.scheduler.set_drop_filter(None)
+                b_net.scheduler.set_drop_filter(None)
+            if r == 30:
+                new_id = random_peer_ids(1, join_rng, a_net.space)[0]
+                while new_id in a_net.peers:
+                    new_id = random_peer_ids(1, join_rng, a_net.space)[0]
+                a_net.join(new_id, a_net.peer_ids[0])
+                b_net.join(new_id, b_net.peer_ids[0])
+            a_plane.run_round()
+            b_plane.run_round()
+            assert a_net.fingerprint() == b_net.fingerprint(), f"diverged at round {r}"
+            assert a_net.counters().fires == b_net.counters().fires, f"counters at {r}"
+        assert a_plane.collector.summary() == b_plane.collector.summary()
+        assert a_plane.collector.summary()["wire_delay_mean"] > 0
+
+
+class TestTrafficUnderLatency:
+    def test_deadline_scales_with_delay_bound(self):
+        from repro.experiments.scaling import build_ideal_network
+
+        net = build_ideal_network(8, 1)
+        plane = TrafficPlane(net, default_deadline=16)
+        assert plane.deadline_for() == 16
+        net.set_delivery_model({"kind": "constant", "delay": 3})
+        assert plane.deadline_for() == 48
+
+    def test_lookups_complete_late_but_complete(self):
+        from repro.experiments.scaling import build_ideal_network
+
+        net = build_ideal_network(16, 2)
+        net.set_delivery_model({"kind": "constant", "delay": 3})
+        plane = TrafficPlane(net)
+        for i in range(6):
+            plane.lookup(f"slow{i}", origin=net.peer_ids[i % len(net.peer_ids)])
+        plane.drain(max_rounds=512)
+        summary = plane.collector.summary()
+        assert summary["outcomes"].get("ok", 0) == 6
+        forwarded = [c for c in plane.collector.completed if c.hops]
+        if forwarded:
+            assert summary["wire_delay_max"] > 0
+
+
+class TestScenarioIntegration:
+    def test_spec_level_time_model_round_trips_and_runs(self):
+        from repro.scenarios import ScenarioSpec, run_scenario
+
+        spec = ScenarioSpec(
+            name="wan",
+            n=10,
+            seed=4,
+            rounds=8,
+            latency={"kind": "regions", "regions": 2, "delay": 3, "seed": 1},
+            daemon={"kind": "partial", "p": 0.9, "seed": 2},
+            max_recovery_rounds=60,
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        a = run_scenario(spec, incremental=True)
+        b = run_scenario(spec, incremental=False)
+        assert a == b
+
+    def test_invalid_spec_models_fail_loudly(self):
+        from repro.scenarios import ScenarioSpec
+
+        with pytest.raises(ValueError, match="unknown delivery model"):
+            ScenarioSpec(name="x", n=8, seed=1, rounds=4, latency={"kind": "warp"})
+        with pytest.raises(ValueError, match="unknown daemon"):
+            ScenarioSpec(name="x", n=8, seed=1, rounds=4, daemon={"kind": "warp"})
+
+    def test_latency_scenarios_report_wire_delay(self):
+        from repro.scenarios import make_scenario, run_scenario
+
+        report = run_scenario(make_scenario("latency-partition", n=12, seed=5))
+        assert report.slo["wire_delay_mean"] > 0
+        assert report.stable and report.ideal
+
+    def test_cli_latency_and_daemon_flags(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "scenario",
+                    "seam-crash",
+                    "--n",
+                    "8",
+                    "--seed",
+                    "3",
+                    "--latency-model",
+                    "constant:delay=2",
+                    "--daemon",
+                    "full",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Scenario: seam-crash" in out
+
+    def test_cli_list_mentions_time_model_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "--latency-model" in out and "--daemon" in out
+        assert "reorder" in out and "round_robin" in out
+
+    def test_cli_model_arg_parser(self):
+        from repro.cli import _parse_model_arg
+
+        assert _parse_model_arg("unit") == {"kind": "unit"}
+        assert _parse_model_arg("constant:delay=3") == {"kind": "constant", "delay": 3}
+        assert _parse_model_arg("partial:p=0.5,seed=7") == {
+            "kind": "partial",
+            "p": 0.5,
+            "seed": 7,
+        }
+        assert _parse_model_arg('{"kind": "reorder", "bound": 4}') == {
+            "kind": "reorder",
+            "bound": 4,
+        }
