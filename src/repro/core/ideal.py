@@ -90,8 +90,13 @@ def compute_ideal(space: IdSpace, peer_ids: Sequence[int]) -> IdealTopology:
 
     m_star: Dict[int, int] = {}
     refs: List[NodeRef] = []
-    for u in ids:
-        gap = gap_to_successor(space, ids, u)
+    n = len(ids)
+    for i, u in enumerate(ids):
+        # ids are sorted, so the clockwise successor of ids[i] is
+        # ids[i+1] (wrapping) — same value as gap_to_successor() without
+        # the per-peer linear scan, which is what keeps 100k-peer ideal
+        # construction feasible
+        gap = space.size if n == 1 else (ids[(i + 1) % n] - u) % space.size
         m = space.level_count(gap)
         m_star[u] = m
         for level in range(0, m + 1):

@@ -60,6 +60,7 @@ from repro.core.rules import RuleConfig, RuleCounters
 from repro.core.state import PeerState
 from repro.graphs.digraph import EdgeKind, TypedDigraph
 from repro.idspace.ring import IdSpace
+from repro.netsim.columnar import ColumnarScheduler
 from repro.netsim.messages import Envelope
 from repro.netsim.scheduler import SynchronousScheduler
 from repro.netsim.timemodel import TimeModel
@@ -112,14 +113,30 @@ class ReChordNetwork:
         record_trace: bool = False,
         incremental: bool = True,
         time_model: Optional[TimeModel] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.space = space if space is not None else IdSpace()
         self.config = config if config is not None else RuleConfig()
         self.trace: Optional[TraceRecorder] = TraceRecorder() if record_trace else None
-        self.incremental = incremental
-        self.scheduler = SynchronousScheduler(
-            self.trace, activity_tracking=incremental, time_model=time_model
-        )
+        if engine is None:
+            engine = "incremental" if incremental else "full"
+        if engine not in ("full", "incremental", "columnar"):
+            raise ValueError(f"unknown engine {engine!r}")
+        #: selected kernel: "full" (legacy full-scan reference),
+        #: "incremental" (dirty set + steady-emission replay), or
+        #: "columnar" (flow-indexed dirty set, the n >= 10k kernel).
+        #: The columnar engine is a superset of the incremental one, so
+        #: every incremental code path in this facade applies to it.
+        self.engine = engine
+        self.incremental = engine != "full"
+        if engine == "columnar":
+            self.scheduler: SynchronousScheduler = ColumnarScheduler(
+                self.trace, activity_tracking=True, time_model=time_model
+            )
+        else:
+            self.scheduler = SynchronousScheduler(
+                self.trace, activity_tracking=self.incremental, time_model=time_model
+            )
         self.peers: Dict[int, ReChordPeer] = {}
         self._level_snapshot: Dict[int, frozenset] = {}
         #: incremental engine: owner ids referenced by each peer ...
@@ -319,6 +336,10 @@ class ReChordNetwork:
         """
         if not isinstance(owners, (set, frozenset)):
             owners = {owners}
+        if self.scheduler.wake_ref_receivers(owners):
+            # the columnar kernel maintains a reverse owner -> receiver
+            # index over pending payload refs; no scan needed
+            return
         mark = self.scheduler.mark_dirty
         for env in self.scheduler.all_pending():
             # every protocol payload enumerates its refs (events.refs());
@@ -432,9 +453,12 @@ class ReChordNetwork:
         # legacy engine's full round-start rebuild)
         self._flush_pending_refresh()
         # sweep for out-of-band mutations since the last boundary (tests,
-        # join seeds, perturbations): cheap integer compare per peer
+        # join seeds, perturbations): cheap integer compare per peer —
+        # read the scheduler's noted-version map directly, this loop is
+        # the facade's only O(n) per-round cost under the columnar kernel
+        noted = sched._ver
         for pid, peer in self.peers.items():
-            if peer.state.version != sched.noted_version(pid):
+            if peer.state.version != noted.get(pid):
                 sched.resync_actor(pid)
                 sched.mark_dirty(pid)
                 self._refresh_peer(pid)
@@ -733,6 +757,11 @@ class ReChordNetwork:
 
     def counters(self) -> RuleCounters:
         """Merged rule-firing counters across all live peers."""
+        settle = getattr(self.scheduler, "settle_replays", None)
+        if settle is not None:
+            # the columnar kernel defers quiescent-round counter replays;
+            # observation points settle them to the parent-exact values
+            settle()
         merged = RuleCounters()
         for pid in sorted(self.peers):
             merged = merged.merged(self.peers[pid].counters)

@@ -17,7 +17,8 @@ tie-break never fires in practice.
 
 from __future__ import annotations
 
-from typing import Tuple
+from array import array
+from typing import Dict, List, Tuple
 
 from repro.idspace.ring import IdSpace
 
@@ -31,12 +32,14 @@ class NodeRef:
     ids unrepresentable.
     """
 
-    __slots__ = ("id", "owner", "level", "_key", "_hash")
+    __slots__ = ("id", "owner", "level", "iid", "_key", "_hash")
 
     def __init__(self, ident: int, owner: int, level: int) -> None:
         object.__setattr__(self, "id", ident)
         object.__setattr__(self, "owner", owner)
         object.__setattr__(self, "level", level)
+        # dense intern id; -1 until the registry adopts this ref
+        object.__setattr__(self, "iid", -1)
         object.__setattr__(self, "_key", (ident, 0 if level == 0 else 1, owner, level))
         object.__setattr__(self, "_hash", hash((owner, level)))
 
@@ -53,12 +56,12 @@ class NodeRef:
         return self
 
     def __reduce__(self):
-        return (NodeRef, (self.id, self.owner, self.level))
+        return (_reconstruct, (self.id, self.owner, self.level))
 
     @staticmethod
     def real(owner: int) -> "NodeRef":
         """The real node (level 0) of peer ``owner``."""
-        return NodeRef(owner, owner, 0)
+        return INTERN.intern(owner, owner, 0)
 
     @property
     def is_real(self) -> bool:
@@ -71,6 +74,8 @@ class NodeRef:
         return self._key
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, NodeRef):
             return NotImplemented
         return self.owner == other.owner and self.level == other.level
@@ -95,8 +100,64 @@ class NodeRef:
         return f"<{kind} id={self.id} owner={self.owner}>"
 
 
+class InternTable:
+    """Process-global registry mapping each node identity to one ref.
+
+    Every ref minted through :func:`make_ref` / :meth:`NodeRef.real` is a
+    singleton per ``(id, owner, level)`` triple and carries a dense
+    integer ``iid`` (its row in the columnar arrays below).  The columns
+    — ``ids``/``owners`` as unsigned 64-bit, ``levels`` as native ints —
+    are flat :mod:`array` storage that the columnar engine and the
+    scale analyses index by ``iid`` instead of chasing objects.
+
+    Direct ``NodeRef(...)`` construction remains legal (``iid == -1``,
+    equality and hashing unchanged); interning is an acceleration layer,
+    not a semantic one.
+    """
+
+    __slots__ = ("_by_key", "_refs", "ids", "owners", "levels")
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[int, int, int], NodeRef] = {}
+        self._refs: List[NodeRef] = []
+        self.ids = array("Q")
+        self.owners = array("Q")
+        self.levels = array("i")
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+    def intern(self, ident: int, owner: int, level: int) -> NodeRef:
+        """The singleton ref for ``(ident, owner, level)`` (minted once)."""
+        key = (ident, owner, level)
+        ref = self._by_key.get(key)
+        if ref is None:
+            ref = NodeRef(ident, owner, level)
+            object.__setattr__(ref, "iid", len(self._refs))
+            self._by_key[key] = ref
+            self._refs.append(ref)
+            self.ids.append(ident)
+            self.owners.append(owner)
+            self.levels.append(level)
+        return ref
+
+    def ref(self, iid: int) -> NodeRef:
+        """The ref holding dense id ``iid``."""
+        return self._refs[iid]
+
+
+#: the process-wide intern table (grows monotonically, never evicts —
+#: evicting would let two live objects claim the same identity)
+INTERN = InternTable()
+
+
+def _reconstruct(ident: int, owner: int, level: int) -> NodeRef:
+    """Unpickle hook: route through the registry to keep refs singleton."""
+    return INTERN.intern(ident, owner, level)
+
+
 def make_ref(space: IdSpace, owner: int, level: int) -> NodeRef:
     """Build the ref of node ``u_level`` of peer ``owner`` (id derived)."""
     if level < 0 or level > space.max_level():
         raise ValueError(f"level must be in [0, {space.max_level()}], got {level}")
-    return NodeRef(space.virtual_id(owner, level), owner, level)
+    return INTERN.intern(space.virtual_id(owner, level), owner, level)

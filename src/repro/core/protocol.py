@@ -30,9 +30,9 @@ explain the deviations; inline comments below only flag the subtle spots.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from operator import attrgetter
-from typing import Callable, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.events import (
     KIND_CONNECTION,
@@ -146,18 +146,53 @@ class ReChordPeer:
         for rule, amount in self._replay_delta.items():
             self.counters.bump(rule, amount)
 
+    def replay_steps(self, count: int) -> None:
+        """Re-apply ``count`` quiescent rounds of counter deltas at once.
+
+        The columnar engine settles accounting lazily: a peer that sat
+        quiescent for ``count`` rounds owes ``count`` copies of its last
+        step's delta, applied in one batch when the counters are next
+        observed (or when the peer wakes).
+        """
+        if count <= 0:
+            return
+        for rule, amount in self._replay_delta.items():
+            self.counters.bump(rule, amount * count)
+
     # ------------------------------------------------------------------
     # message delivery (delayed assignments)
     # ------------------------------------------------------------------
     def _apply_inbox(self, inbox: Sequence[Envelope]) -> None:
+        # exact-type dispatch ordered by frequency (the payload classes
+        # are final; see repro.core.events), with the EdgeAdd delivery
+        # body inlined — this loop handles every message of every round
+        resolve = self.state.resolve
+        peer_id = self.state.peer_id
         for env in inbox:
             payload = env.payload
-            if isinstance(payload, EdgeAdd):
-                self._deliver_edge(payload.target, payload.endpoint, payload.kind)
-            elif isinstance(payload, NeighborIntro):
-                self._deliver_edge(payload.target, payload.endpoint, KIND_UNMARKED)
-            elif isinstance(payload, RealCandidate):
+            cls = type(payload)
+            if cls is EdgeAdd:
+                node = resolve(payload.target)
+                if node is None:  # misrouted — network bug, not protocol state
+                    raise LookupError(
+                        f"message for {payload.target!r} delivered to peer {peer_id}"
+                    )
+                endpoint = payload.endpoint
+                if endpoint == node.ref:
+                    continue  # self-edge sanitation [D10]
+                kind = payload.kind
+                if kind == KIND_UNMARKED:
+                    node._nu.add(endpoint)
+                elif kind == KIND_RING:
+                    node._nr.add(endpoint)
+                elif kind == KIND_CONNECTION:
+                    node._nc.add(endpoint)
+                else:  # pragma: no cover - protocol violation
+                    raise ValueError(f"unknown edge kind {kind!r}")
+            elif cls is RealCandidate:
                 self._deliver_candidate(payload)
+            elif cls is NeighborIntro:
+                self._deliver_edge(payload.target, payload.endpoint, KIND_UNMARKED)
             elif isinstance(payload, AppPayload):
                 raise TypeError(
                     f"traffic payload {payload!r} delivered to peer "
@@ -174,11 +209,11 @@ class ReChordPeer:
         if endpoint == node.ref:
             return  # self-edge sanitation [D10]
         if kind == KIND_UNMARKED:
-            node.nu.add(endpoint)
+            node._nu.add(endpoint)
         elif kind == KIND_RING:
-            node.nr.add(endpoint)
+            node._nr.add(endpoint)
         elif kind == KIND_CONNECTION:
-            node.nc.add(endpoint)
+            node._nc.add(endpoint)
         else:  # pragma: no cover - protocol violation
             raise ValueError(f"unknown edge kind {kind!r}")
 
@@ -203,17 +238,20 @@ class ReChordPeer:
         ``Nu(y) <- Nu(y) ∪ {v}`` writes it; rule 3 will recompute the
         cached pointer from knowledge next round.
         """
+        ck = cand._key
         if side == SIDE_LEFT:
-            if cand >= node.ref:
+            if ck >= node.ref._key:
                 return  # wrong side — stale or corrupt sender state
-            if node.rl is None or cand > node.rl:
-                node.nu.add(cand)
+            rl = node._rl
+            if rl is None or ck > rl._key:
+                node._nu.add(cand)
                 self.counters.bump("rule3_adopt")
         else:
-            if cand <= node.ref:
+            if ck <= node.ref._key:
                 return
-            if node.rr is None or cand < node.rr:
-                node.nu.add(cand)
+            rr = node._rr
+            if rr is None or ck < rr._key:
+                node._nu.add(cand)
                 self.counters.bump("rule3_adopt")
 
     def _adopt_wrap_candidate(self, node: LocalNode, cand: NodeRef, side: str) -> None:
@@ -257,35 +295,67 @@ class ReChordPeer:
         sanitation.
         """
         alive = self._ref_alive
+        # most refs recur across the ~log(n) levels of a peer (the same
+        # neighbor appears in many neighborhoods), so liveness verdicts
+        # are memoized per step — a verdict depends only on the ref
+        verdicts: Dict[NodeRef, str] = {}
         for level in sorted(self.state.nodes):
             node = self.state.nodes[level]
-            for attr in ("nu", "nr", "nc"):
-                refs: Set[NodeRef] = getattr(node, attr)
-                bad = [r for r in refs if r == node.ref or alive(r) != REF_OK]
+            nref = node.ref
+            for refs in (node._nu, node._nr, node._nc):
+                bad: Optional[List[NodeRef]] = None
+                for r in refs:
+                    if r == nref:
+                        if bad is None:
+                            bad = []
+                        bad.append(r)
+                        continue
+                    v = verdicts.get(r)
+                    if v is None:
+                        v = verdicts[r] = alive(r)
+                    if v != REF_OK:
+                        if bad is None:
+                            bad = []
+                        bad.append(r)
+                if bad is None:
+                    continue
                 for ref in bad:
                     refs.discard(ref)
-                    if ref == node.ref:
+                    if ref == nref:
                         continue
-                    verdict = alive(ref)
-                    if verdict == REF_PHANTOM:
+                    if verdicts[ref] == REF_PHANTOM:
                         real = NodeRef.real(ref.owner)
-                        if real != node.ref:
+                        if real != nref:
                             refs.add(real)
                         self.counters.bump("purge_phantom")
                     else:
                         self.counters.bump("purge_dead")
-            for attr in ("rl", "rr", "wrap_rl", "wrap_rr"):
-                ref = getattr(node, attr)
+            for attr, ref in (
+                ("rl", node._rl),
+                ("rr", node._rr),
+                ("wrap_rl", node._wrap_rl),
+                ("wrap_rr", node._wrap_rr),
+            ):
                 if ref is None:
                     continue
-                if not ref.is_real or ref == node.ref or alive(ref) != REF_OK:
+                if ref.level != 0 or ref == nref:
+                    setattr(node, attr, None)
+                    self.counters.bump("purge_slot")
+                    continue
+                v = verdicts.get(ref)
+                if v is None:
+                    v = verdicts[ref] = alive(ref)
+                if v != REF_OK:
                     setattr(node, attr, None)
                     self.counters.bump("purge_slot")
             # corrupt cached pointers on the wrong side are cleared (the
             # ref stays reachable through nu if it was ever real state)
-            if node.rl is not None and node.rl >= node.ref:
+            nk = nref._key
+            rl = node._rl
+            if rl is not None and rl._key >= nk:
                 node.rl = None
-            if node.rr is not None and node.rr <= node.ref:
+            rr = node._rr
+            if rr is not None and rr._key <= nk:
                 node.rr = None
 
     # ------------------------------------------------------------------
@@ -320,23 +390,33 @@ class ReChordPeer:
         sibs = state.sibling_refs()
         if len(sibs) < 2:
             return
+        # sibs is sorted, so "the closest sibling strictly between w and
+        # ui" is a bisect on the key column, not a scan of all siblings
+        sib_keys = [s._key for s in sibs]
+        nsibs = len(sibs)
         for level in sorted(state.nodes):
             node = state.nodes[level]
             ui = node.ref
-            for w in sorted(node.nu, key=_KEY):
-                if w < ui:
+            uik = ui._key
+            for w in sorted(node._nu, key=_KEY):
+                wk = w._key
+                if wk < uik:
                     # siblings strictly between w and ui; closest to w wins
-                    between = [s for s in sibs if w < s < ui]
-                    target = min(between) if between else None
+                    idx = bisect_right(sib_keys, wk)
+                    target = (
+                        sibs[idx] if idx < nsibs and sib_keys[idx] < uik else None
+                    )
                 else:
-                    between = [s for s in sibs if ui < s < w]
-                    target = max(between) if between else None
+                    idx = bisect_left(sib_keys, wk)
+                    target = (
+                        sibs[idx - 1] if idx > 0 and sib_keys[idx - 1] > uik else None
+                    )
                 if target is None:
                     continue
-                node.nu.discard(w)
+                node._nu.discard(w)
                 peer_node = state.nodes[target.level]
                 if w != peer_node.ref:
-                    peer_node.nu.add(w)
+                    peer_node._nu.add(w)
                 self.counters.bump("rule2_move")
 
     # ------------------------------------------------------------------
@@ -357,18 +437,24 @@ class ReChordPeer:
                 rr = reals[idx] if idx < len(reals) else None
             node.rl, node.rr = rl, rr
             if rl is not None:
-                node.nu.add(rl)  # the paper's Nu(ui) := Nu(ui) ∪ {v}
+                node._nu.add(rl)  # the paper's Nu(ui) := Nu(ui) ∪ {v}
             if rr is not None:
-                node.nu.add(rr)
+                node._nu.add(rr)
             if self.config.wrap_pointers:
                 self._maintain_wrap_slots(node)
             # announce to neighbors per the paper's y-conditions
             eco = self.config.economical_broadcast
-            nu_sorted = sorted(node.nu, key=_KEY)
+            nu_sorted = sorted(node._nu, key=_KEY)
+            uik = ui._key
             if rl is not None:
-                recipients = [
-                    y for y in nu_sorted if y != rl and (y > ui or (rl < y < ui))
-                ]
+                rlk = rl._key
+                recipients = []
+                for y in nu_sorted:
+                    if y == rl:
+                        continue
+                    yk = y._key
+                    if yk > uik or rlk < yk < uik:
+                        recipients.append(y)
                 for y in recipients:
                     if eco and rl == node.bcast_rl and (
                         node.bcast_rl_targets is not None and y in node.bcast_rl_targets
@@ -382,9 +468,14 @@ class ReChordPeer:
                 node.bcast_rl = None
                 node.bcast_rl_targets = None
             if rr is not None:
-                recipients = [
-                    y for y in nu_sorted if y != rr and (y < ui or (ui < y < rr))
-                ]
+                rrk = rr._key
+                recipients = []
+                for y in nu_sorted:
+                    if y == rr:
+                        continue
+                    yk = y._key
+                    if yk < uik or uik < yk < rrk:
+                        recipients.append(y)
                 for y in recipients:
                     if eco and rr == node.bcast_rr and (
                         node.bcast_rr_targets is not None and y in node.bcast_rr_targets
@@ -449,30 +540,35 @@ class ReChordPeer:
     # ------------------------------------------------------------------
     def _rule4_linearize(self, ctx: RoundContext) -> None:
         state = self.state
+        forwards = 0
         for level in sorted(state.nodes):
             node = state.nodes[level]
             ui = node.ref
-            lefts = sorted((w for w in node.nu if w < ui), key=_KEY, reverse=True)
+            uik = ui._key
+            nu = node._nu
+            lefts = sorted((w for w in nu if w._key < uik), key=_KEY, reverse=True)
             for a, b in zip(lefts, lefts[1:]):
                 # forward: starting point moves closer to the endpoint
                 ctx.send(a.owner, EdgeAdd(a, b, KIND_UNMARKED))
-                node.nu.discard(b)
-                self.counters.bump("rule4_forward")
-            rights = sorted((w for w in node.nu if w > ui), key=_KEY)
+                nu.discard(b)
+                forwards += 1
+            rights = sorted((w for w in nu if w._key > uik), key=_KEY)
             for a, b in zip(rights, rights[1:]):
                 ctx.send(a.owner, EdgeAdd(a, b, KIND_UNMARKED))
-                node.nu.discard(b)
-                self.counters.bump("rule4_forward")
+                nu.discard(b)
+                forwards += 1
             # mirroring: at this point nu holds only the two closest
             # neighbors (paper's note on rule 4)
-            for v in sorted(node.nu, key=_KEY):
+            for v in sorted(nu, key=_KEY):
                 ctx.send(v.owner, EdgeAdd(v, ui, KIND_UNMARKED))
             # re-add the closest real neighbors (paper: Nu(ui) := Nu(ui)
             # ∪ {rl(ui)} ∪ {rr(ui)})
-            if node.rl is not None:
-                node.nu.add(node.rl)
-            if node.rr is not None:
-                node.nu.add(node.rr)
+            if node._rl is not None:
+                nu.add(node._rl)
+            if node._rr is not None:
+                nu.add(node._rr)
+        if forwards:
+            self.counters.bump("rule4_forward", forwards)
 
     # ------------------------------------------------------------------
     # rule 5 — ring edges
@@ -486,8 +582,14 @@ class ReChordPeer:
         for level in sorted(state.nodes):
             node = state.nodes[level]
             ui = node.ref
-            has_left = any(w < ui for w in node.nu)
-            has_right = any(w > ui for w in node.nu)
+            uik = ui._key
+            has_left = has_right = False
+            for w in node._nu:
+                wk = w._key
+                if wk < uik:
+                    has_left = True
+                elif wk > uik:
+                    has_right = True
             if not has_left and kmax != ui:
                 # believe to be the minimum: ask the largest known node to
                 # hold a ring edge toward us
@@ -496,27 +598,32 @@ class ReChordPeer:
             if not has_right and kmin != ui:
                 ctx.send(kmin.owner, EdgeAdd(kmin, ui, KIND_RING))
                 self.counters.bump("rule5_create")
-            for w in sorted(node.nr, key=_KEY):
+            nr = node._nr
+            for w in sorted(nr, key=_KEY):
                 if w == ui:
-                    node.nr.discard(w)  # self-edge sanitation [D10]
+                    nr.discard(w)  # self-edge sanitation [D10]
                     continue
                 # scope max/min over (knowledge ∪ node.nr): the extreme of
                 # the union is the extreme of the two extremes
-                if w > ui:
+                wk = w._key
+                if wk > uik:
                     # w believes itself the maximum; this edge must reach
                     # the global minimum
                     x = kmax
-                    for y in node.nr:
-                        if y > x:
+                    xk = x._key
+                    for y in nr:
+                        yk = y._key
+                        if yk > xk:
                             x = y
-                    if x > w:
+                            xk = yk
+                    if xk > wk:
                         # w is not the maximum: hand it to a larger node
                         ctx.send(x.owner, EdgeAdd(x, w, KIND_UNMARKED))
-                        node.nr.discard(w)
+                        nr.discard(w)
                         self.counters.bump("rule5_convert")
                     elif kmin != ui:
                         ctx.send(kmin.owner, EdgeAdd(kmin, w, KIND_RING))
-                        node.nr.discard(w)
+                        nr.discard(w)
                         self.counters.bump("rule5_forward")
                     else:
                         # we are the smallest known node: hold the edge.
@@ -526,16 +633,19 @@ class ReChordPeer:
                             ctx.send(w.owner, RealCandidate(w, reals[0], SIDE_RIGHT, wrap=True))
                 else:
                     x = kmin
-                    for y in node.nr:
-                        if y < x:
+                    xk = x._key
+                    for y in nr:
+                        yk = y._key
+                        if yk < xk:
                             x = y
-                    if x < w:
+                            xk = yk
+                    if xk < wk:
                         ctx.send(x.owner, EdgeAdd(x, w, KIND_UNMARKED))
-                        node.nr.discard(w)
+                        nr.discard(w)
                         self.counters.bump("rule5_convert")
                     elif kmax != ui:
                         ctx.send(kmax.owner, EdgeAdd(kmax, w, KIND_RING))
-                        node.nr.discard(w)
+                        nr.discard(w)
                         self.counters.bump("rule5_forward")
                     else:
                         if self.config.wrap_pointers and reals:
@@ -550,30 +660,39 @@ class ReChordPeer:
         for a, b in zip(sibs, sibs[1:]):
             # contiguous virtual siblings are chained with connection edges
             state.nodes[a.level].nc.add(b)
-        sib_set = set(sibs)
+        forward = backward = 0
         for level in sorted(state.nodes):
             node = state.nodes[level]
+            nc = node._nc
+            if not nc:
+                continue
             ui = node.ref
-            # nu is not mutated by this rule, so one sorted merge serves
-            # every connection edge held by this node
-            merged = sorted(node.nu | sib_set, key=_KEY)
-            merged_keys = [x._key for x in merged]
-            for v in sorted(node.nc, key=_KEY):
+            # predecessor of v in (nu ∪ siblings): one bisect over the
+            # merged sorted column, built once per level (nc routinely
+            # holds several connection edges per round in the stable
+            # flow, so the merge amortizes)
+            cands = sorted([*node._nu, *sibs], key=_KEY)
+            cand_keys = [c._key for c in cands]
+            for v in sorted(nc, key=_KEY):
                 if v == ui:
-                    node.nc.discard(v)
+                    nc.discard(v)
                     continue
-                idx = bisect_left(merged_keys, v._key)
-                w = merged[idx - 1] if idx > 0 else None
+                idx = bisect_left(cand_keys, v._key)
+                w = cands[idx - 1] if idx > 0 else None
                 if w is None or w == ui:
                     # we are the largest known node below v: close the
                     # chain with a backward unmarked edge (v -> ui)
                     ctx.send(v.owner, EdgeAdd(v, ui, KIND_UNMARKED))
-                    node.nc.discard(v)
-                    self.counters.bump("rule6_backward")
+                    nc.discard(v)
+                    backward += 1
                 else:
                     ctx.send(w.owner, EdgeAdd(w, v, KIND_CONNECTION))
-                    node.nc.discard(v)
-                    self.counters.bump("rule6_forward")
+                    nc.discard(v)
+                    forward += 1
+        if forward:
+            self.counters.bump("rule6_forward", forward)
+        if backward:
+            self.counters.bump("rule6_backward", backward)
 
     # ------------------------------------------------------------------
     # graceful leave support

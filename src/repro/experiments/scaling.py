@@ -18,8 +18,9 @@ stabilizing from a random start would take hours, ``build_ideal_network``
 constructs the unique stable topology directly from
 :func:`repro.core.ideal.compute_ideal` and lets the constant message
 flow settle in a handful of rounds.  ``run_engine_comparison`` then
-drives the same single-join re-stabilization through both kernels
-(legacy full-scan vs. incremental) and reports rounds/sec side by side —
+drives the same single-join re-stabilization through all three kernels
+(legacy full-scan vs. incremental vs. columnar) and reports rounds/sec
+side by side —
 the regression benchmark behind ``benchmarks/bench_engine_throughput.py``
 and the CI smoke gate.
 """
@@ -42,6 +43,7 @@ from repro.experiments.runner import (
     sweep_sizes,
 )
 from repro.idspace.ring import IdSpace
+from repro.netsim.gcpause import gc_batched
 from repro.netsim.rng import SeedSequence
 from repro.workloads.initial import build_random_network, random_peer_ids
 
@@ -92,7 +94,8 @@ def build_ideal_network(
     space: Optional[IdSpace] = None,
     config: Optional[RuleConfig] = None,
     incremental: bool = True,
-    settle_rounds: int = 64,
+    settle_rounds: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> ReChordNetwork:
     """A network *constructed in* its unique stable topology.
 
@@ -103,11 +106,21 @@ def build_ideal_network(
     rounds instead of a full O(n)-peer stabilization.  This is the only
     practical way to obtain stable networks at n ≥ 1024 for the
     post-churn engine benchmarks.
+
+    ``settle_rounds`` defaults to ``max(64, 12·log2 n)``: the rule-3
+    candidate waves started by the freshly written states take slightly
+    longer to die out at larger n (measured: ~70 rounds at n=4096,
+    seed-dependent), and an unused bound costs nothing.  The
+    settle loop runs under :func:`gc_batched` — every peer executes
+    every round until the flow settles, and the allocation storm would
+    otherwise hand the collector about half the build wall-clock.
     """
     space = space if space is not None else IdSpace()
+    if settle_rounds is None:
+        settle_rounds = max(64, 12 * int(math.log2(max(2, n))))
     rng = random.Random(seed)
     ids = random_peer_ids(n, rng, space)
-    net = ReChordNetwork(space, config, incremental=incremental)
+    net = ReChordNetwork(space, config, incremental=incremental, engine=engine)
     ideal = compute_ideal(space, ids)
     for pid in ids:
         peer = net.add_peer(pid)
@@ -124,7 +137,8 @@ def build_ideal_network(
     # raises RuntimeError if the constructed state is not within a few
     # rounds of the true fixpoint (i.e. compute_ideal and the rules
     # disagree) — the loud failure mode we want here
-    net.run_until_stable(max_rounds=settle_rounds)
+    with gc_batched():
+        net.run_until_stable(max_rounds=settle_rounds)
     return net
 
 
@@ -133,20 +147,36 @@ def build_ideal_network(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class EngineRow:
-    """One size of the engine comparison."""
+    """One size of the engine comparison.
+
+    ``full_rounds_per_sec`` is ``None`` above the ``full_limit`` cutoff
+    of :func:`measure_engine_pair` — the legacy full-scan engine needs
+    tens of minutes per re-stabilization at n ≥ 1024, so large sizes
+    compare the incremental and columnar kernels only.
+    """
 
     n: int
     rounds: int                 #: rounds the re-stabilization took
-    full_rounds_per_sec: float
+    full_rounds_per_sec: Optional[float]
     incr_rounds_per_sec: float
     executed_fraction: float    #: mean executed/peers per round (incremental)
+    col_rounds_per_sec: float = 0.0
 
     @property
-    def speedup(self) -> float:
-        """Incremental over full-scan throughput."""
+    def speedup(self) -> Optional[float]:
+        """Incremental over full-scan throughput (None when full skipped)."""
+        if self.full_rounds_per_sec is None:
+            return None
         if self.full_rounds_per_sec <= 0:
             return float("inf")
         return self.incr_rounds_per_sec / self.full_rounds_per_sec
+
+    @property
+    def col_speedup(self) -> float:
+        """Columnar over incremental throughput."""
+        if self.incr_rounds_per_sec <= 0:
+            return float("inf")
+        return self.col_rounds_per_sec / self.incr_rounds_per_sec
 
 
 def _post_churn_restabilize(
@@ -158,22 +188,28 @@ def _post_churn_restabilize(
     Returns ``(report, seconds, mean_executed_fraction)`` where the
     executed fraction is the share of peers that actually ran rules per
     round (the rest were replayed from the steady-emission cache).
+
+    The timed loop runs under :func:`gc_batched` — collector pauses
+    would otherwise dominate the measurement at n ≥ 1k (and land on
+    whichever engine happens to cross an allocation threshold), so
+    batching them makes the engine comparison honest.
     """
     net.join(join_id, gateway)
     executed_total = 0
     rounds = 0
     stable = False
-    t0 = time.perf_counter()
-    # inline run_until_stable so the per-round executed split is sampled
-    for _ in range(max_rounds):
-        net.run_round()
-        rounds += 1
-        executed, _replayed = net.activity_stats()
-        executed_total += executed
-        if not net.scheduler.changed_last_round:
-            stable = True
-            break
-    elapsed = time.perf_counter() - t0
+    with gc_batched():
+        t0 = time.perf_counter()
+        # inline run_until_stable so the per-round executed split is sampled
+        for _ in range(max_rounds):
+            net.run_round()
+            rounds += 1
+            executed, _replayed = net.activity_stats()
+            executed_total += executed
+            if not net.scheduler.changed_last_round:
+                stable = True
+                break
+        elapsed = time.perf_counter() - t0
     if not stable:
         # a silent non-converged "report" would poison every downstream
         # rounds/sec comparison; fail like run_until_stable does
@@ -184,9 +220,9 @@ def _post_churn_restabilize(
 
 
 def measure_engine_pair(
-    n: int, seed: int, max_rounds: int = 2_000
+    n: int, seed: int, max_rounds: int = 6_000, full_limit: int = 512
 ) -> EngineRow:
-    """Single-join re-stabilization, timed through both kernels.
+    """Single-join re-stabilization, timed through the three kernels.
 
     The incremental engine runs first and establishes the exact number
     of re-stabilization rounds from its change flag; the legacy engine
@@ -194,6 +230,11 @@ def measure_engine_pair(
     timings cover identical work (the legacy engine would need O(n)
     fingerprints on top to even detect stability — deliberately excluded
     to keep the comparison conservative).
+
+    Above ``full_limit`` peers the legacy full-scan leg is skipped
+    entirely (it needs tens of minutes per re-stabilization there) and
+    the end-state equivalence check compares the incremental and
+    columnar fingerprints directly.
     """
     seq = SeedSequence(seed).child("engine", n=n)
     build_seed = seq.child("build").seed()
@@ -209,42 +250,63 @@ def measure_engine_pair(
     report, incr_secs, frac = _post_churn_restabilize(incr, join_id, gateway, max_rounds)
     rounds = report.rounds_executed
 
-    full = build_ideal_network(n, build_seed, incremental=False)
-    full.join(join_id, gateway)
-    t0 = time.perf_counter()
-    full.run(rounds)
-    full_secs = time.perf_counter() - t0
+    col = build_ideal_network(n, build_seed, engine="columnar")
+    col_report, col_secs, _ = _post_churn_restabilize(col, join_id, gateway, max_rounds)
+    if col_report.rounds_executed != rounds:  # pragma: no cover - guarded by tests
+        raise AssertionError(
+            f"columnar round-count divergence at n={n}: "
+            f"{col_report.rounds_executed} != {rounds}"
+        )
 
-    if incr.fingerprint() != full.fingerprint():  # pragma: no cover - guarded by tests
-        raise AssertionError(f"engine divergence at n={n}, seed={seed}")
+    if col.fingerprint() != incr.fingerprint():  # pragma: no cover - guarded by tests
+        raise AssertionError(f"columnar divergence at n={n}, seed={seed}")
+
+    full_rps: Optional[float] = None
+    if n <= full_limit:
+        full = build_ideal_network(n, build_seed, incremental=False)
+        full.join(join_id, gateway)
+        with gc_batched():
+            t0 = time.perf_counter()
+            full.run(rounds)
+            full_secs = time.perf_counter() - t0
+        if incr.fingerprint() != full.fingerprint():  # pragma: no cover - guarded by tests
+            raise AssertionError(f"engine divergence at n={n}, seed={seed}")
+        full_rps = rounds / full_secs if full_secs > 0 else float("inf")
+
     return EngineRow(
         n=n,
         rounds=rounds,
-        full_rounds_per_sec=rounds / full_secs if full_secs > 0 else float("inf"),
+        full_rounds_per_sec=full_rps,
         incr_rounds_per_sec=rounds / incr_secs if incr_secs > 0 else float("inf"),
         executed_fraction=frac,
+        col_rounds_per_sec=rounds / col_secs if col_secs > 0 else float("inf"),
     )
 
 
 def run_engine_comparison(
     sizes: Sequence[int] = ENGINE_SIZES_QUICK,
     seed: int = DEFAULT_ROOT_SEED,
-    max_rounds: int = 2_000,
+    max_rounds: int = 6_000,
+    full_limit: int = 512,
 ) -> Dict[int, EngineRow]:
     """The old-vs-new kernel comparison over a size ladder."""
-    return {n: measure_engine_pair(n, seed, max_rounds) for n in sizes}
+    return {n: measure_engine_pair(n, seed, max_rounds, full_limit) for n in sizes}
 
 
 def format_engine_comparison(rows: Dict[int, EngineRow]) -> str:
-    """Rounds/sec table: full-scan vs. incremental kernel."""
+    """Rounds/sec table: full-scan vs. incremental vs. columnar kernel."""
     lines = [
         "Engine throughput — post-churn re-stabilization (single join into a stable network)",
-        f"{'n':>6} {'rounds':>7} {'full r/s':>10} {'incr r/s':>10} {'speedup':>8} {'exec%':>6}",
+        f"{'n':>6} {'rounds':>7} {'full r/s':>10} {'incr r/s':>10} {'col r/s':>10} "
+        f"{'speedup':>8} {'col x':>8} {'exec%':>6}",
     ]
     for n in sorted(rows):
         r = rows[n]
+        full_rps = f"{r.full_rounds_per_sec:>10.2f}" if r.full_rounds_per_sec is not None else f"{'—':>10}"
+        speedup = f"{r.speedup:>7.1f}x" if r.speedup is not None else f"{'—':>8}"
         lines.append(
-            f"{r.n:>6} {r.rounds:>7} {r.full_rounds_per_sec:>10.2f} "
-            f"{r.incr_rounds_per_sec:>10.2f} {r.speedup:>7.1f}x {100 * r.executed_fraction:>5.1f}%"
+            f"{r.n:>6} {r.rounds:>7} {full_rps} "
+            f"{r.incr_rounds_per_sec:>10.2f} {r.col_rounds_per_sec:>10.2f} "
+            f"{speedup} {r.col_speedup:>7.1f}x {100 * r.executed_fraction:>5.1f}%"
         )
     return "\n".join(lines)

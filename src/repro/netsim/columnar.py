@@ -1,0 +1,765 @@
+"""The columnar dirty-set kernel: O(dirty work) rounds at scale.
+
+The activity-tracked kernel in :mod:`repro.netsim.scheduler` already
+executes only dirty actors, but its *round loop* still costs O(n + E):
+every round it sorts all actor keys, iterates every actor (replaying the
+quiescent ones), clears every inbox, and re-appends every steady
+envelope.  At n = 10k-100k peers that per-round floor — not rule
+evaluation — dominates wall-clock time.
+
+This subclass removes the floor by holding the steady state of the
+network in *flow-indexed columns* instead of materialized per-round
+inboxes:
+
+* ``_flow_in[target][sender]`` — the delivered sub-flows of every
+  sender's steady outbox, stored once and conceptually re-delivered
+  every boundary (the parent rebuilds these lists physically each
+  round);
+* ``_ghost[target][sender]`` — one-shot remnants: the final emissions
+  of a removed sender, consumed at the target's next materialization;
+* ``_pre_buffer[target]`` / the plain inbox buffer — out-of-band posts
+  that sort before / after the flows at the next boundary (matching the
+  parent's physical append order exactly);
+* ``_ref_watch[owner][target]`` — a reverse index from referenced
+  owners of pending payloads to their receivers, replacing the
+  network's O(pending) in-flight scan on liveness flips;
+* ``_settled[key]`` — lazily settled rule-counter replays: a quiescent
+  actor owes one replay delta per skipped round, applied in one batch
+  (``replay_steps``) when it wakes or when counters are observed.
+
+A round then touches only the dirty actors: each one *materializes* its
+inbox ``[pre-buffer][flows + ghosts in sorted-sender order][buffer]``,
+steps, and has its outbox diffed against the steady cache.  Flow
+patches, removals and revivals are applied at the end-of-round delivery
+point, exactly where the parent delivers, so every boundary observable
+— fingerprints, pending multisets, change flags, sent/dropped/executed
+counts, rule counters at observation points — is bit-for-bit identical
+to the parent kernel (the differential suite in
+``tests/test_columnar.py`` asserts this round-for-round).
+
+The fast path is only sound under the parent's unit-delivery flow
+induction, so the kernel drops back to the parent round implementation
+(draining its columns into real inboxes) whenever latency models,
+partial activation, or drop-filter changes appear, and re-enters one
+round after the last out-of-band flow event.  Full-scan
+(``activity_tracking=False``) and the parent tracked kernel remain the
+executable references.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+from repro.netsim.messages import (
+    HASH_MASK as _MASK,
+    Envelope,
+    envelope_fingerprint as _envelope_hash,
+)
+from repro.netsim.scheduler import RoundContext, SynchronousScheduler
+from repro.netsim.timemodel import TimeModel, make_delivery_model
+from repro.netsim.trace import TraceRecorder
+
+
+#: sub-flow map: sender -> that sender's envelopes to one target
+SubFlows = Dict[Hashable, List[Envelope]]
+
+
+class ColumnarScheduler(SynchronousScheduler):
+    """Activity-tracked scheduler with a columnar steady-flow store."""
+
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        activity_tracking: bool = True,
+        time_model: Optional[TimeModel] = None,
+    ) -> None:
+        super().__init__(trace, activity_tracking=activity_tracking, time_model=time_model)
+        #: whether the columnar fast path is currently driving rounds
+        self._cols_active = False
+        #: steady delivered sub-flows per live target
+        self._flow_in: Dict[Hashable, SubFlows] = {}
+        #: one-shot remnants of removed senders per live target
+        self._ghost: Dict[Hashable, SubFlows] = {}
+        #: posts ordered before the flows at the next boundary
+        self._pre_buffer: Dict[Hashable, List[Envelope]] = {}
+        #: frozen sub-flows to removed targets (revived on re-join)
+        self._dead_in: Dict[Hashable, SubFlows] = {}
+        #: re-added targets whose frozen flows resume at the next
+        #: delivery point
+        self._revive: Set[Hashable] = set()
+        #: per-sender steady drops per round (dead targets + filtered)
+        self._drop_by: Dict[Hashable, int] = {}
+        #: running totals kept consistent with the structures above
+        self._flow_dropped = 0  # = sum(_drop_by.values())
+        self._flow_sent = 0  # = sum(len(_out[k]) for live k)
+        self._flow_pending = 0  # envelopes held in _flow_in + _ghost
+        #: reverse index: referenced owner -> {target: pending count}
+        self._ref_watch: Dict[Hashable, Dict[Hashable, int]] = {}
+        #: rule-counter settlement: last round each actor's counters cover
+        self._settled: Dict[Hashable, int] = {}
+        # ---- per-round working state (fast rounds only) ------------------
+        self._col_pos: Optional[Hashable] = None
+        self._work: List[Hashable] = []
+        self._queued: Set[Hashable] = set()
+        self._added_mid_round: Set[Hashable] = set()
+        #: [key, contributed, final_out, committed_out] per mid-round removal
+        self._removed_mid: List[list] = []
+        #: sender -> (prev_out, new_out) outbox patches of this round
+        self._patched: Dict[Hashable, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # envelope accounting (pending hash + ref index + pending count)
+    # ------------------------------------------------------------------
+    def _watch_env(self, env: Envelope) -> None:
+        refs_fn = getattr(env.payload, "refs", None)
+        if refs_fn is None:
+            return
+        for owner in {ref.owner for ref in refs_fn()}:
+            targets = self._ref_watch.setdefault(owner, {})
+            targets[env.target] = targets.get(env.target, 0) + 1
+
+    def _unwatch_env(self, env: Envelope) -> None:
+        refs_fn = getattr(env.payload, "refs", None)
+        if refs_fn is None:
+            return
+        watch = self._ref_watch
+        for owner in {ref.owner for ref in refs_fn()}:
+            targets = watch.get(owner)
+            if targets is None:
+                continue
+            count = targets.get(env.target, 0)
+            if count <= 1:
+                targets.pop(env.target, None)
+                if not targets:
+                    watch.pop(owner, None)
+            else:
+                targets[env.target] = count - 1
+
+    def _account_flow_env(self, env: Envelope) -> None:
+        """A steady/ghost envelope enters the pending set."""
+        self._pending_hash = (self._pending_hash + _envelope_hash(env)) & _MASK
+        self._flow_pending += 1
+        self._watch_env(env)
+
+    def _unaccount_flow_env(self, env: Envelope) -> None:
+        """A steady/ghost envelope leaves the pending set."""
+        self._pending_hash = (self._pending_hash - _envelope_hash(env)) & _MASK
+        self._flow_pending -= 1
+        self._unwatch_env(env)
+
+    # ------------------------------------------------------------------
+    # sender flow surgery
+    # ------------------------------------------------------------------
+    def _install_sender_flows(self, sender: Hashable, envs) -> int:
+        """Index ``sender``'s outbox as steady flows; returns its
+        per-round drop count (dead targets + filtered envelopes)."""
+        drops = 0
+        flt = self._drop_filter
+        by_target: Dict[Hashable, List[Envelope]] = {}
+        for env in envs:
+            by_target.setdefault(env.target, []).append(env)
+        for target, sub in by_target.items():
+            deliverable = sub if flt is None else [e for e in sub if not flt(e)]
+            if target in self._actors:
+                drops += len(sub) - len(deliverable)
+                if deliverable:
+                    self._flow_in.setdefault(target, {})[sender] = deliverable
+                    for env in deliverable:
+                        self._account_flow_env(env)
+            else:
+                # every envelope to a dead target drops, filtered or not;
+                # the deliverable part is frozen for a possible re-join
+                drops += len(sub)
+                if deliverable:
+                    self._dead_in.setdefault(target, {})[sender] = deliverable
+        return drops
+
+    # ------------------------------------------------------------------
+    # mode transitions
+    # ------------------------------------------------------------------
+    def _enter_columnar(self) -> None:
+        """Derive the columns from the steady-emission cache.
+
+        Only called at a boundary with no pending flow events
+        (``_flow_flag`` clear), where the parent's inboxes provably equal
+        the filtered steady deliveries — so the physical inboxes can be
+        dropped and regenerated from ``_out`` on exit.
+        """
+        round_no = self._round
+        self._flow_in = {}
+        self._ghost = {}
+        self._pre_buffer = {}
+        self._dead_in = {}
+        self._revive = set()
+        self._drop_by = {}
+        self._ref_watch = {}
+        self._flow_dropped = 0
+        self._flow_sent = 0
+        self._flow_pending = 0
+        derived_hash = 0
+        self._settled = {key: round_no - 1 for key in self._actors}
+        saved_hash = self._pending_hash
+        self._pending_hash = 0
+        for key in self._actors:
+            out = self._out.get(key, [])
+            self._flow_sent += len(out)
+            drops = self._install_sender_flows(key, out)
+            self._drop_by[key] = drops
+            self._flow_dropped += drops
+        derived_hash = self._pending_hash
+        assert derived_hash == saved_hash, (
+            "columnar entry: derived pending hash diverges from the "
+            "parent's rolling hash — flow bookkeeping bug"
+        )
+        for box in self._inboxes.values():
+            box.clear()
+        self._cols_active = True
+
+    def _exit_columnar(self) -> None:
+        """Materialize every inbox and fall back to the parent kernel."""
+        self.settle_replays()
+        for target in self._actors:
+            inbox: List[Envelope] = []
+            pre = self._pre_buffer.get(target)
+            if pre:
+                inbox.extend(pre)
+            flows = self._flow_in.get(target)
+            ghosts = self._ghost.get(target)
+            senders: Set[Hashable] = set()
+            if flows:
+                senders.update(flows)
+            if ghosts:
+                senders.update(ghosts)
+            for sender in sorted(senders):
+                if flows is not None:
+                    inbox.extend(flows.get(sender, ()))
+                if ghosts is not None:
+                    inbox.extend(ghosts.get(sender, ()))
+            inbox.extend(self._inboxes.get(target, ()))
+            self._inboxes[target] = inbox
+        self._flow_in = {}
+        self._ghost = {}
+        self._pre_buffer = {}
+        self._dead_in = {}
+        self._revive = set()
+        self._drop_by = {}
+        self._ref_watch = {}
+        self._flow_dropped = 0
+        self._flow_sent = 0
+        self._flow_pending = 0
+        self._settled = {}
+        self._cols_active = False
+
+    # ------------------------------------------------------------------
+    # counter settlement
+    # ------------------------------------------------------------------
+    def _settle_actor(self, key: Hashable, upto: int) -> None:
+        last = self._settled.get(key)
+        if last is None:
+            self._settled[key] = upto
+            return
+        if last >= upto:
+            return
+        owed = upto - last
+        self._settled[key] = upto
+        actor = self._actors.get(key)
+        if actor is None:
+            return
+        batch = getattr(actor, "replay_steps", None)
+        if batch is not None:
+            batch(owed)
+            return
+        replay_fn = self._probes.get(key, (None, None, None))[2]
+        if replay_fn is not None:
+            for _ in range(owed):
+                replay_fn()
+
+    def settle_replays(self) -> None:
+        """Apply every owed quiescent-round counter delta now.
+
+        Called at boundaries by observers of rule counters (the network
+        facade) and on every fall-back to the parent kernel; afterwards
+        all counters equal what the parent's eager per-round replay
+        would have produced.
+        """
+        if not self._cols_active:
+            return
+        upto = self._round - 1
+        for key in self._actors:
+            self._settle_actor(key, upto)
+
+    # ------------------------------------------------------------------
+    # indexed liveness wake (replaces the network's O(pending) scan)
+    # ------------------------------------------------------------------
+    def wake_ref_receivers(self, owners: Set) -> bool:
+        if not self._cols_active:
+            return False
+        for owner in owners:
+            targets = self._ref_watch.get(owner)
+            if not targets:
+                continue
+            for target in targets:
+                self._dirty.add(target)
+                self._dirty_carry.add(target)
+        return True
+
+    # ------------------------------------------------------------------
+    # membership / posts / faults under columnar mode
+    # ------------------------------------------------------------------
+    def add_actor(self, key: Hashable, actor) -> None:
+        super().add_actor(key, actor)
+        if not self._cols_active:
+            return
+        # counters owe nothing before the first scheduled execution
+        self._settled[key] = self._round if self._in_round else self._round - 1
+        if key in self._dead_in:
+            # a re-joining id: the steady flows still addressed to it
+            # resume at the next delivery point, like the parent's
+            # delivery loop would
+            self._revive.add(key)
+        if self._in_round:
+            self._added_mid_round.add(key)
+
+    def remove_actor(self, key: Hashable):
+        if self._cols_active:
+            self._remove_columnar(key)
+        return super().remove_actor(key)
+
+    def _remove_columnar(self, key: Hashable) -> None:
+        in_round = self._in_round
+        # -- settle its counters to what the parent would have applied --
+        contributed = bool(
+            in_round and self._col_pos is not None and key <= self._col_pos
+        )
+        if in_round:
+            self._settle_actor(key, self._round if contributed else self._round - 1)
+        else:
+            self._settle_actor(key, self._round - 1)
+        self._settled.pop(key, None)
+        # -- as a target: its pending messages die with it ---------------
+        flows = self._flow_in.pop(key, None)
+        if key in self._revive:
+            # re-added and removed again before its frozen flows resumed:
+            # keep the original _dead_in entry untouched
+            self._revive.discard(key)
+        elif flows is not None:
+            for sender, sub in flows.items():
+                for env in sub:
+                    self._unaccount_flow_env(env)
+                self._drop_by[sender] = self._drop_by.get(sender, 0) + len(sub)
+                self._flow_dropped += len(sub)
+            self._dead_in[key] = flows
+        ghosts = self._ghost.pop(key, None)
+        if ghosts:
+            for sub in ghosts.values():
+                for env in sub:
+                    self._unaccount_flow_env(env)
+        pre = self._pre_buffer.pop(key, None)
+        if pre:
+            for env in pre:
+                self._pending_hash = (self._pending_hash - _envelope_hash(env)) & _MASK
+                self._unwatch_env(env)
+        for env in self._inboxes.get(key, ()):
+            # the parent's remove_actor subtracts the buffer hashes;
+            # only the ref index is ours to maintain
+            self._unwatch_env(env)
+        # -- as a sender: its steady flow stops --------------------------
+        committed = self._patched[key][0] if key in self._patched else self._out.get(key, [])
+        self._flow_sent -= len(committed or ())
+        self._flow_dropped -= self._drop_by.pop(key, 0)
+        for subs in self._dead_in.values():
+            subs.pop(key, None)
+        if in_round:
+            # defer the flow surgery to the delivery point: actors that
+            # materialize later this round must still see this sender's
+            # boundary sub-flows, exactly like the parent's snapshot
+            # inboxes do
+            self._removed_mid.append(
+                [key, contributed, list(self._out.get(key, ())), list(committed or ())]
+            )
+        else:
+            # between rounds: the flows delivered at the last boundary
+            # are still pending; they become one-shot ghosts
+            out = self._out.get(key, ())
+            for target in {env.target for env in out}:
+                subs = self._flow_in.get(target)
+                if subs is None:
+                    continue
+                sub = subs.pop(key, None)
+                if sub:
+                    self._ghost.setdefault(target, {})[key] = sub
+
+    def post(self, envelope: Envelope) -> bool:
+        ok = super().post(envelope)
+        if not ok or not self._cols_active:
+            return ok
+        target = envelope.target
+        box = self._inboxes.get(target)
+        if box is None or not box or box[-1] is not envelope:
+            return ok  # parked in the future queue (not possible while unit)
+        self._watch_env(envelope)
+        if self._in_round:
+            if (
+                target in self._added_mid_round
+                or (self._col_pos is not None and target <= self._col_pos)
+            ):
+                # the target's step already passed this round (or it was
+                # added mid-round and will not run): the post sits in its
+                # inbox and the end-of-round deliveries append AFTER it
+                box.pop()
+                self._pre_buffer.setdefault(target, []).append(envelope)
+            elif target not in self._queued:
+                # not yet reached: it must execute (not replay) this
+                # round, consuming [flows][post] like the parent
+                insort(self._work, target)
+                self._queued.add(target)
+        return ok
+
+    def set_drop_filter(self, drop: Optional[Callable[[Envelope], bool]]) -> None:
+        if self._cols_active and not (drop is None and self._drop_filter is None):
+            # filter changes redefine every steady delivery; fall back to
+            # the parent kernel (which marks everyone dirty) and re-enter
+            # once the flow flag clears
+            self._exit_columnar()
+        super().set_drop_filter(drop)
+
+    def set_delivery_model(self, model) -> None:
+        if self._cols_active:
+            new = make_delivery_model(model)
+            old = self._delivery
+            if not (new.is_unit and old.is_unit) and new.to_dict() != old.to_dict():
+                self._exit_columnar()
+        super().set_delivery_model(model)
+
+    # ------------------------------------------------------------------
+    # pending-set observers
+    # ------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        if not self._cols_active:
+            return super().pending_messages()
+        count = self._flow_pending
+        for box in self._pre_buffer.values():
+            count += len(box)
+        for box in self._inboxes.values():
+            count += len(box)
+        return count
+
+    def all_pending(self) -> List[Envelope]:
+        if not self._cols_active:
+            return super().all_pending()
+        out: List[Envelope] = []
+        for target in sorted(self._inboxes):
+            pre = self._pre_buffer.get(target)
+            if pre:
+                out.extend(pre)
+            flows = self._flow_in.get(target)
+            ghosts = self._ghost.get(target)
+            senders: Set[Hashable] = set()
+            if flows:
+                senders.update(flows)
+            if ghosts:
+                senders.update(ghosts)
+            for sender in sorted(senders):
+                if flows is not None:
+                    out.extend(flows.get(sender, ()))
+                if ghosts is not None:
+                    out.extend(ghosts.get(sender, ()))
+            out.extend(self._inboxes[target])
+        return out
+
+    # ------------------------------------------------------------------
+    # round dispatch
+    # ------------------------------------------------------------------
+    def run_round(self, active: Optional[set] = None) -> None:
+        if active is None and not self._daemon.is_full:
+            active = self._daemon.select(self._round, sorted(self._actors))
+        self.active_last_round = frozenset(active) if active is not None else None
+        if not self.activity_tracking:
+            self._run_round_full(active)
+            return
+        fast_ok = (
+            active is None
+            and self._delivery.is_unit
+            and not self._future
+            and self._prev_pending is None
+        )
+        if not fast_ok:
+            if self._cols_active:
+                self._exit_columnar()
+            if active is not None:
+                self._run_round_partial_tracked(set(active))
+            else:
+                self._run_round_tracked()
+            return
+        if not self._cols_active:
+            if self._flow_flag:
+                # out-of-band flow events since the last boundary: let the
+                # parent kernel absorb them, enter once the flag clears
+                self._run_round_tracked()
+                return
+            self._enter_columnar()
+        self._run_round_columnar()
+
+    # ------------------------------------------------------------------
+    # the fast round
+    # ------------------------------------------------------------------
+    def _materialize_inbox(self, key: Hashable) -> List[Envelope]:
+        """Assemble and consume the actor's boundary inbox.
+
+        Ghosts, pre-buffered and buffered posts are one-shot: they leave
+        the pending set here.  Steady flows stay indexed — they are
+        conceptually re-delivered at the end of the round.
+        """
+        inbox: List[Envelope] = []
+        pre = self._pre_buffer.pop(key, None)
+        if pre:
+            for env in pre:
+                self._pending_hash = (self._pending_hash - _envelope_hash(env)) & _MASK
+                self._unwatch_env(env)
+            inbox.extend(pre)
+        flows = self._flow_in.get(key)
+        ghosts = self._ghost.pop(key, None)
+        if ghosts:
+            for sub in ghosts.values():
+                for env in sub:
+                    self._unaccount_flow_env(env)
+            senders: Set[Hashable] = set(ghosts)
+            if flows:
+                senders.update(flows)
+            for sender in sorted(senders):
+                if flows is not None:
+                    inbox.extend(flows.get(sender, ()))
+                inbox.extend(ghosts.get(sender, ()))
+        elif flows:
+            for sender in sorted(flows):
+                inbox.extend(flows[sender])
+        box = self._inboxes.get(key)
+        if box:
+            for env in box:
+                self._pending_hash = (self._pending_hash - _envelope_hash(env)) & _MASK
+                self._unwatch_env(env)
+            inbox.extend(box)
+            self._inboxes[key] = []
+        return inbox
+
+    def _run_round_columnar(self) -> None:
+        round_no = self._round
+        n_start = len(self._actors)
+        state_changed_any = False
+        flow_changed = self._flow_flag
+        self._flow_flag = False
+        changed_keys: Set[Hashable] = set()
+        newly_dirty: Set[Hashable] = set()
+        executed = 0
+        dirty = self._dirty
+        self._dirty = set()
+        carry_due = self._dirty_carry
+        self._dirty_carry = set()
+        self._posted_mid_round = set()
+        self._patched = {}
+        self._removed_mid = []
+        self._added_mid_round = set()
+        self._work = sorted(k for k in dirty if k in self._actors)
+        self._queued = set(self._work)
+        self._in_round = True
+
+        # ---- pass 1: materialize + execute the dirty set ---------------
+        index = 0
+        while index < len(self._work):
+            key = self._work[index]
+            index += 1
+            actor = self._actors.get(key)
+            if actor is None:  # removed by an earlier actor this round
+                continue
+            self._col_pos = key
+            executed += 1
+            inbox = self._materialize_inbox(key)
+            self._settle_actor(key, round_no - 1)
+            self._settled[key] = round_no
+            ctx = RoundContext(round_no, key, self)
+            actor.step(inbox, ctx)
+            out = ctx._outbox
+            probes = self._probes.get(key)
+            ver_fn = probes[0] if probes else None
+            if ver_fn is None:
+                state_changed = True
+                newly_dirty.add(key)
+            else:
+                state_changed = False
+                version = ver_fn()
+                if version != self._ver.get(key):
+                    self._ver[key] = version
+                    tok = probes[1]()
+                    if tok != self._tok.get(key):
+                        self._tok[key] = tok
+                        old_h = self._tok_hash.get(key, 0)
+                        h = hash(tok) & _MASK
+                        self._tok_hash[key] = h
+                        self._state_hash = (self._state_hash - old_h + h) & _MASK
+                        state_changed = True
+            if state_changed:
+                state_changed_any = True
+                changed_keys.add(key)
+                newly_dirty.add(key)
+            prev_out = self._out.get(key)
+            if prev_out != out:
+                flow_changed = True
+                prev_by: Dict[Hashable, List[Envelope]] = {}
+                for env in prev_out or ():
+                    prev_by.setdefault(env.target, []).append(env)
+                new_by: Dict[Hashable, List[Envelope]] = {}
+                for env in out:
+                    new_by.setdefault(env.target, []).append(env)
+                # the per-target diff: only these sub-flows need surgery
+                # at the delivery point — unchanged targets keep their
+                # (value-equal) indexed envelopes untouched
+                changed: List[Hashable] = []
+                for target, sub in new_by.items():
+                    if prev_by.get(target) != sub:
+                        newly_dirty.add(target)
+                        changed.append(target)
+                for target in prev_by:
+                    if target not in new_by:
+                        newly_dirty.add(target)
+                        changed.append(target)
+                h = self._out_hash.get(key, 0)
+                for target in changed:
+                    for env in new_by.get(target, ()):
+                        h = (h + _envelope_hash(env)) & _MASK
+                    for env in prev_by.get(target, ()):
+                        h = (h - _envelope_hash(env)) & _MASK
+                if key not in self._patched:
+                    self._patched[key] = (prev_out, out, changed, prev_by, new_by)
+                self._out[key] = out
+                self._out_hash[key] = h
+            if key not in self._actors:
+                # it removed itself during its own step; the parent still
+                # delivers THIS step's emissions, so fix the removal
+                # record captured mid-step
+                for record in reversed(self._removed_mid):
+                    if record[0] == key:
+                        record[2] = list(out)
+                        break
+
+        # ---- pass 2: the delivery point ---------------------------------
+        sent_extra = 0
+        dropped_extra = 0
+        flt = self._drop_filter
+        # (a) steady-flow patches of still-live senders: surgery touches
+        # only the targets whose sub-flow actually changed
+        for sender, (prev, new, changed, prev_by, new_by) in self._patched.items():
+            if sender not in self._actors:
+                continue
+            self._flow_sent += len(new) - len(prev or ())
+            drop_delta = 0
+            for target in changed:
+                old_sub = prev_by.get(target)
+                new_sub = new_by.get(target)
+                # a frozen sub from before the target's death (or from a
+                # pre-revival window) must not resurface on top of the
+                # fresh sub-flow installed below
+                dead = self._dead_in.get(target)
+                if dead is not None:
+                    dead.pop(sender, None)
+                if target in self._actors:
+                    subs = self._flow_in.get(target)
+                    cur = subs.pop(sender, None) if subs is not None else None
+                    if cur:
+                        for env in cur:
+                            self._unaccount_flow_env(env)
+                    drop_delta -= len(old_sub or ()) - len(cur or ())
+                    if new_sub:
+                        deliverable = (
+                            new_sub if flt is None
+                            else [e for e in new_sub if not flt(e)]
+                        )
+                        drop_delta += len(new_sub) - len(deliverable)
+                        if deliverable:
+                            self._flow_in.setdefault(target, {})[sender] = deliverable
+                            for env in deliverable:
+                                self._account_flow_env(env)
+                else:
+                    # every envelope to a dead target drops; the
+                    # deliverable part is frozen for a possible re-join
+                    drop_delta -= len(old_sub or ())
+                    if new_sub:
+                        drop_delta += len(new_sub)
+                        deliverable = (
+                            new_sub if flt is None
+                            else [e for e in new_sub if not flt(e)]
+                        )
+                        if deliverable:
+                            self._dead_in.setdefault(target, {})[sender] = deliverable
+            self._drop_by[sender] = self._drop_by.get(sender, 0) + drop_delta
+            self._flow_dropped += drop_delta
+        # (b) mid-round removals: ghost the contributions, expire the rest
+        expired = 0
+        for key, contributed, final_out, committed_out in self._removed_mid:
+            for target in {env.target for env in committed_out}:
+                subs = self._flow_in.get(target)
+                if subs is None:
+                    continue
+                sub = subs.pop(key, None)
+                if sub:
+                    for env in sub:
+                        self._unaccount_flow_env(env)
+            if not contributed:
+                expired += 1
+                continue
+            sent_extra += len(final_out)
+            by_target: Dict[Hashable, List[Envelope]] = {}
+            for env in final_out:
+                by_target.setdefault(env.target, []).append(env)
+            for target, sub in by_target.items():
+                if target not in self._actors:
+                    dropped_extra += len(sub)
+                    continue
+                deliverable = sub if flt is None else [e for e in sub if not flt(e)]
+                dropped_extra += len(sub) - len(deliverable)
+                if deliverable:
+                    self._ghost.setdefault(target, {})[key] = deliverable
+                    for env in deliverable:
+                        self._account_flow_env(env)
+        # (c) revivals: frozen flows to re-joined ids resume
+        for target in sorted(self._revive):
+            if target not in self._actors:
+                continue
+            subs = self._dead_in.pop(target, None)
+            if subs is None:
+                continue
+            for sender in sorted(subs):
+                if sender not in self._actors:
+                    continue
+                sub = subs[sender]
+                self._flow_in.setdefault(target, {})[sender] = sub
+                for env in sub:
+                    self._account_flow_env(env)
+                self._drop_by[sender] = self._drop_by.get(sender, 0) - len(sub)
+                self._flow_dropped -= len(sub)
+        self._revive.clear()
+
+        # (d) boundary bookkeeping — identical observables to the parent
+        self.dropped_last_round = self._flow_dropped + dropped_extra
+        sent = self._flow_sent + sent_extra
+        self.changed_last_round = state_changed_any or flow_changed
+        self.state_changed_keys = changed_keys
+        self.executed_last_round = executed
+        self.replayed_last_round = n_start - executed - expired
+        self._in_round = False
+        self._posted_mid_round = set()
+        newly_dirty |= carry_due
+        newly_dirty |= self._dirty  # marks added mid-round
+        self._dirty = newly_dirty
+        self._col_pos = None
+        self._work = []
+        self._queued = set()
+        self._added_mid_round = set()
+        self._removed_mid = []
+        self._patched = {}
+        if self._trace is not None:
+            self._trace.record_round(
+                round_no, actors=n_start, sent=sent, dropped=self.dropped_last_round,
+                executed=executed,
+            )
+        self._round += 1

@@ -29,7 +29,7 @@ class AppPayload:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Envelope:
     """A message in flight between two actors.
 
@@ -37,7 +37,17 @@ class Envelope:
     is protocol-defined and treated opaquely by the kernel.  Envelopes are
     immutable: the synchronous model forbids a sender from mutating a
     message after the send.
+
+    ``_fp`` is the lazily memoized fingerprint slot (see
+    :func:`envelope_fingerprint`); slots keep construction and field
+    access cheap on the millions of envelopes a large run mints.
+    Equality/hash are hand-rolled with the usual dataclass semantics
+    (field-wise) but without intermediate tuple allocations: the
+    round-boundary outbox diffs compare whole outboxes every round, and
+    this is their innermost loop.
     """
+
+    __slots__ = ("sender", "target", "payload", "_fp")
 
     sender: Hashable
     target: Hashable
@@ -45,6 +55,31 @@ class Envelope:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Envelope({self.sender!r} -> {self.target!r}: {self.payload!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Envelope:
+            return NotImplemented
+        return (
+            self.target == other.target
+            and self.sender == other.sender
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.target, self.payload))
+
+    def __getstate__(self) -> tuple:
+        # the memoized fingerprint (see envelope_fingerprint) is only
+        # valid within this process — hash() of strings is randomized
+        # per interpreter — so it must not survive pickling
+        return (self.sender, self.target, self.payload)
+
+    def __setstate__(self, state: tuple) -> None:
+        object.__setattr__(self, "sender", state[0])
+        object.__setattr__(self, "target", state[1])
+        object.__setattr__(self, "payload", state[2])
 
 
 def envelope_fingerprint(env: Envelope) -> int:
@@ -55,13 +90,24 @@ def envelope_fingerprint(env: Envelope) -> int:
     is deliberately excluded.  Payloads without ``canonical()`` (generic
     actors in unit tests) hash directly, falling back to ``repr`` for
     unhashable ones; exactness guarantees only cover canonical payloads.
+
+    The value is memoized on the (immutable) envelope: the rolling
+    pending-multiset hashes touch the same envelope several times over
+    its life (post, account, deliver), and the columnar kernel's flow
+    surgery would otherwise recompute canonical forms per boundary.
     """
+    try:
+        return env._fp
+    except AttributeError:
+        pass
     payload = env.payload
     canon = payload.canonical() if hasattr(payload, "canonical") else payload
     try:
-        return hash((env.target, canon)) & HASH_MASK
+        fp = hash((env.target, canon)) & HASH_MASK
     except TypeError:
-        return hash((env.target, repr(canon))) & HASH_MASK
+        fp = hash((env.target, repr(canon))) & HASH_MASK
+    object.__setattr__(env, "_fp", fp)
+    return fp
 
 
 def envelope_canon(env: Envelope) -> object:

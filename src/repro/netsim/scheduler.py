@@ -100,6 +100,12 @@ from repro.netsim.timemodel import TimeModel, make_daemon, make_delivery_model
 from repro.netsim.trace import TraceRecorder
 
 
+#: envelope intern-cache ceiling per scheduler; on overflow the cache is
+#: simply cleared (it is a pure performance cache — correctness never
+#: depends on interning, only outbox-compare speed does)
+_ENV_CACHE_MAX = 4_000_000
+
+
 class Actor(Protocol):
     """Protocol for scheduler participants.
 
@@ -131,8 +137,29 @@ class RoundContext:
         self._scheduler = scheduler
 
     def send(self, target: Hashable, payload: Any) -> None:
-        """Queue a message for delivery at the end of this round."""
-        self._outbox.append(Envelope(self.self_key, target, payload))
+        """Queue a message for delivery at the end of this round.
+
+        Envelopes are interned per scheduler: a steady flow re-emits the
+        same ``(sender, target, payload)`` value every round, and handing
+        back the *same object* lets the round-boundary outbox comparisons
+        (steady-emission caches, columnar flow diffs) short-circuit on
+        identity instead of deep-comparing payloads, and lets the
+        memoized envelope fingerprint survive across rounds.  Unhashable
+        payloads (generic unit-test actors) skip the cache.
+        """
+        try:
+            env = self._scheduler._env_cache.get((self.self_key, target, payload))
+        except TypeError:
+            env = Envelope(self.self_key, target, payload)
+        else:
+            if env is None:
+                cache = self._scheduler._env_cache
+                if len(cache) >= _ENV_CACHE_MAX:
+                    cache.clear()  # plain perf cache: dropping it only costs speed
+                env = cache[(self.self_key, target, payload)] = Envelope(
+                    self.self_key, target, payload
+                )
+        self._outbox.append(env)
 
     def actor_exists(self, key: Hashable) -> bool:
         """Liveness oracle: whether ``key`` is currently registered.
@@ -170,6 +197,8 @@ class SynchronousScheduler:
         self._actors: Dict[Hashable, Actor] = {}
         self._inboxes: Dict[Hashable, List[Envelope]] = {}
         self._round = 0
+        #: (sender, target, payload) -> interned Envelope (see RoundContext.send)
+        self._env_cache: Dict[tuple, Envelope] = {}
         self._trace = trace
         #: the pluggable notion of time (delivery latency + activation)
         self.time_model = time_model if time_model is not None else TimeModel.unit()
@@ -395,6 +424,17 @@ class SynchronousScheduler:
     def has_drop_filter(self) -> bool:
         """Whether a delivery-time fault filter is currently installed."""
         return self._drop_filter is not None
+
+    def wake_ref_receivers(self, owners: Set) -> bool:
+        """Columnar fast path for the network's in-flight ref scan.
+
+        Returns ``False`` here: this base kernel keeps no reverse index
+        from referenced owners to pending-message receivers, so the
+        caller must fall back to scanning :meth:`all_pending`.  The
+        columnar subclass overrides this with an O(changed) indexed
+        wake and returns ``True``.
+        """
+        return False
 
     # ------------------------------------------------------------------
     # time model (repro.netsim.timemodel)

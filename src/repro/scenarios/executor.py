@@ -113,7 +113,12 @@ class ScenarioReport:
         return out
 
 
-def _build_start(spec: ScenarioSpec, seq: SeedSequence, incremental: bool) -> ReChordNetwork:
+def _build_start(
+    spec: ScenarioSpec,
+    seq: SeedSequence,
+    incremental: bool,
+    engine: Optional[str] = None,
+) -> ReChordNetwork:
     """Materialize the campaign's initial topology."""
     params = dict(spec.start_params)
     build_seed = seq.child("build").seed()
@@ -122,10 +127,12 @@ def _build_start(spec: ScenarioSpec, seq: SeedSequence, incremental: bool) -> Re
     corrupt = params.pop("corrupt", False)
     corrupt_kw = dict(corrupt) if isinstance(corrupt, dict) else {}
     if spec.start == "ideal":
-        net = build_ideal_network(spec.n, build_seed, incremental=incremental)
+        net = build_ideal_network(
+            spec.n, build_seed, incremental=incremental, engine=engine
+        )
     elif spec.start == "random":
         net = build_random_network(
-            spec.n, build_seed, incremental=incremental, **params
+            spec.n, build_seed, incremental=incremental, engine=engine, **params
         )
     elif spec.start == "two_rings":
         rng = seq.child("ids").rng()
@@ -133,10 +140,12 @@ def _build_start(spec: ScenarioSpec, seq: SeedSequence, incremental: bool) -> Re
 
         space = IdSpace()
         ids = random_peer_ids(spec.n, rng, space)
-        net = build_two_rings_network(ids, space, incremental=incremental)
+        net = build_two_rings_network(
+            ids, space, incremental=incremental, engine=engine
+        )
     else:  # a degenerate shape
         net = build_shaped_network(
-            spec.start, spec.n, build_seed, incremental=incremental
+            spec.start, spec.n, build_seed, incremental=incremental, engine=engine
         )
     if corrupt:
         corrupt_network(net, seq.child("corrupt").seed(), **corrupt_kw)
@@ -168,16 +177,22 @@ def _sample(
     )
 
 
-def run_scenario(spec: ScenarioSpec, incremental: bool = True) -> ScenarioReport:
+def run_scenario(
+    spec: ScenarioSpec,
+    incremental: bool = True,
+    engine: Optional[str] = None,
+) -> ScenarioReport:
     """Execute one campaign and report recovery + SLO metrics.
 
-    ``incremental`` selects the simulation kernel; the report (minus the
-    comparison-excluded ``activity`` field) is identical for both — the
+    ``incremental`` selects the simulation kernel (``engine`` names one
+    explicitly — ``"full"``, ``"incremental"`` or ``"columnar"`` — and
+    wins over the boolean); the report (minus the comparison-excluded
+    ``activity`` field) is identical for every kernel — the
     engine-equivalence suite runs every named scenario through this
-    function twice and compares.
+    function once per engine and compares.
     """
     seq = SeedSequence(spec.seed).child("scenario", spec.name, n=spec.n)
-    net = _build_start(spec, seq, incremental)
+    net = _build_start(spec, seq, incremental, engine=engine)
     # campaign-wide time model: installed after the (unit-time) start
     # phase so pre-stabilized starts build fast, before any traffic or
     # adversity round runs; both kernels install identically

@@ -92,13 +92,32 @@ class CompletedOp:
         return max(0, self.latency - baseline)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty sample."""
+def percentile(
+    values: Sequence[float], q: float, default: Optional[float] = None
+) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a sample.
+
+    ``q = 0`` selects the minimum, ``q = 100`` the maximum, and a single
+    sample is returned for every ``q``.  The rank is computed as
+    ``ceil(q * n / 100)`` — multiplying *before* dividing keeps the
+    product integer-exact for integer ``q``, where the historical
+    ``q / 100 * n`` form accumulated float error (e.g. ``0.95 * 20 =
+    19.000000000000004`` rounds the rank up and over-selects) — then
+    clamped into ``[1, n]`` so the edges stay in range.
+
+    An empty sample returns ``default`` when one is given and raises
+    ``ValueError`` otherwise (so callers cannot silently average air).
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not values:
+        if default is not None:
+            return default
         raise ValueError("no values")
     ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100 * len(ordered)))
-    return float(ordered[min(rank, len(ordered)) - 1])
+    n = len(ordered)
+    rank = min(max(math.ceil(q * n / 100), 1), n)
+    return float(ordered[rank - 1])
 
 
 def latency_histogram(
@@ -112,6 +131,10 @@ def latency_histogram(
     """
     if bounds is None:
         bounds = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    if not bounds:
+        # a defined value instead of the historical IndexError on the
+        # overflow label: everything lands in one catch-all bucket
+        return [("all", len(values))]
     buckets = [0] * (len(bounds) + 1)
     for v in values:
         for i, edge in enumerate(bounds):

@@ -1,0 +1,346 @@
+"""Differential kernel tests: columnar engine ≡ incremental ≡ full-scan.
+
+The columnar kernel (flow-indexed inboxes over interned NodeRef ids,
+batched dirty-set rule evaluation, bulk per-round delivery) must be
+**round-for-round equivalent** to both existing kernels: same
+:class:`StabilizationReport`, same ``fingerprint()`` at every boundary,
+and same rule-firing counters — across churn, mid-round membership
+surgery, partial activation, latency models, drop filters, and whole
+scenario campaigns.  These tests drive all three engines over the same
+inputs and compare.
+
+The suite also pins the :class:`repro.core.noderef.InternTable`
+invariants the columnar layout leans on: one singleton ref per identity
+triple, dense ``iid`` assignment, and column/ref consistency.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.core.network import ReChordNetwork
+from repro.core.noderef import INTERN, NodeRef, make_ref
+from repro.idspace.ring import IdSpace
+from repro.netsim.columnar import ColumnarScheduler
+from repro.netsim.rng import SeedSequence
+from repro.scenarios import make_scenario, run_scenario, scenario_names
+from repro.workloads.churn import ChurnSchedule, apply_event
+from repro.workloads.initial import (
+    build_random_network,
+    corrupt_network,
+    random_peer_ids,
+)
+
+ROOT = SeedSequence(61011)
+
+
+def build_triple(n: int, seed: int, corrupt: bool = False):
+    """The same seeded start under all three kernels."""
+    nets = [
+        build_random_network(n=n, seed=seed, engine=engine)
+        for engine in ("columnar", "incremental", "full")
+    ]
+    if corrupt:
+        for net in nets:
+            corrupt_network(net, seed + 1)
+    return nets
+
+
+def assert_equivalent(nets, context: str = "") -> None:
+    """Full observable equality across the triple."""
+    ref = nets[-1]
+    for net in nets[:-1]:
+        assert net.fingerprint() == ref.fingerprint(), f"fingerprint diverged {context}"
+        assert net.counters().fires == ref.counters().fires, f"counters diverged {context}"
+
+
+# seeded random starts: mixed sizes, half corrupted with phantom virtual
+# refs and garbage marked edges (subset of the incremental suite's grid)
+STARTS = [
+    (n, seed, corrupt)
+    for seed, (n, corrupt) in enumerate(
+        [(1, False), (2, True), (4, False), (6, True), (8, False),
+         (9, True), (10, False), (11, True), (12, False), (14, True)]
+    )
+]
+
+
+class TestColumnarEngineSelection:
+    def test_engine_flag_selects_scheduler(self):
+        net = ReChordNetwork(engine="columnar")
+        assert isinstance(net.scheduler, ColumnarScheduler)
+        assert net.engine == "columnar"
+        assert net.incremental  # columnar is an activity-tracked kernel
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ReChordNetwork(engine="vectorized")
+
+    def test_engine_wins_over_boolean(self):
+        net = ReChordNetwork(incremental=False, engine="columnar")
+        assert isinstance(net.scheduler, ColumnarScheduler)
+
+
+class TestColumnarStabilization:
+    @pytest.mark.parametrize("n,seed,corrupt", STARTS)
+    def test_seeded_start_same_report_and_fingerprint(self, n, seed, corrupt):
+        nets = build_triple(n, seed, corrupt)
+        reports = [net.run_until_stable(max_rounds=4000) for net in nets]
+        assert reports[0] == reports[1] == reports[2], (
+            f"reports diverged at n={n} seed={seed} corrupt={corrupt}"
+        )
+        assert_equivalent(nets, f"at n={n} seed={seed} corrupt={corrupt}")
+
+    def test_stable_network_matches_ideal(self):
+        net = build_random_network(n=10, seed=3, engine="columnar")
+        net.run_until_stable(max_rounds=4000)
+        assert net.matches_ideal()
+
+    def test_quiescent_network_executes_nobody(self):
+        net = build_random_network(n=12, seed=41, engine="columnar")
+        net.run_until_stable(max_rounds=4000)
+        net.run_round()
+        executed, replayed = net.activity_stats()
+        assert executed == 0
+        assert replayed == len(net.peers)
+
+
+class TestColumnarLockstep:
+    """Round-for-round (not just final-state) equality."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_fingerprints_match_every_round(self, seed):
+        nets = build_triple(10, seed, corrupt=(seed % 2 == 0))
+        for r in range(60):
+            for net in nets:
+                net.run_round()
+            assert_equivalent(nets, f"at round {r}")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_churn_trajectory_lockstep(self, seed):
+        """join → graceful leave → crash → rejoin of the crashed id,
+        compared at every boundary (the rejoin revives frozen flows)."""
+        nets = build_triple(16, seed)
+        rng = ROOT.child("churn", seed=seed).rng()
+        new_id = random_peer_ids(1, rng, nets[0].space)[0]
+        while new_id in nets[0].peers:
+            new_id = random_peer_ids(1, rng, nets[0].space)[0]
+        crash_victim = {}
+        for r in range(120):
+            if r == 20:
+                for net in nets:
+                    net.join(new_id, net.peer_ids[0])
+            elif r == 45:
+                victim = nets[0].peer_ids[3]
+                for net in nets:
+                    net.leave(victim)
+            elif r == 70:
+                victim = nets[0].peer_ids[5]
+                crash_victim["id"] = victim
+                for net in nets:
+                    net.crash(victim)
+            elif r == 90:
+                for net in nets:
+                    net.join(crash_victim["id"], net.peer_ids[1])
+            for net in nets:
+                net.run_round()
+            assert_equivalent(nets, f"at round {r} (seed={seed})")
+
+    def test_churn_schedule_same_trajectory(self):
+        nets = build_triple(10, 5)
+        for net in nets:
+            net.run_until_stable(max_rounds=4000)
+        schedule = ChurnSchedule.random(nets[0], events=4, seed=55)
+        for event in schedule:
+            reports = []
+            for net in nets:
+                apply_event(net, event)
+                reports.append(net.run_until_stable(max_rounds=4000))
+            assert reports[0] == reports[1] == reports[2], f"after {event}"
+            assert_equivalent(nets, f"after {event}")
+
+    def test_mid_round_removal_stays_equivalent(self):
+        """A peer removed DURING a round after it already emitted: the
+        columnar engine must ghost its final outbox for exactly one
+        round, then expire it."""
+        nets = build_triple(10, 71)
+        for net in nets:
+            net.run_until_stable(max_rounds=4000)
+        victim = nets[0].peer_ids[4]
+        for net in nets:
+            class Remover:
+                def __init__(self, net):
+                    self.net = net
+                    self.done = False
+
+                def step(self, inbox, ctx):
+                    if not self.done:
+                        self.done = True
+                        self.net._remove_peer(victim)
+
+            # sorts AFTER every peer id: the victim has already executed
+            # (and emitted) when it is removed mid-round
+            net.scheduler.add_actor(2**70, Remover(net))
+        for r in range(40):
+            for net in nets:
+                net.run_round()
+            assert_equivalent(nets, f"at round {r}")
+
+    def test_partial_activation_then_stability(self):
+        """Partial rounds force the columnar engine onto the parent
+        path; re-entry afterwards must agree with both kernels."""
+        nets = build_triple(8, 51)
+        for net in nets:
+            net.run(5)
+        active = set(nets[0].peer_ids[:4])
+        for _ in range(3):
+            for net in nets:
+                net.run_round(active=active)
+        assert_equivalent(nets, "after partial activation")
+        reports = [net.run_until_stable(max_rounds=4000) for net in nets]
+        assert reports[0] == reports[1] == reports[2]
+        assert_equivalent(nets, "after re-stabilization")
+
+    def test_latency_model_switch_mid_run(self):
+        """Installing a non-unit delivery model exits columnar mode;
+        restoring unit delivery re-enters it — equivalence must hold
+        through both transitions."""
+        nets = build_triple(10, 13)
+        for net in nets:
+            net.run(10)
+        for net in nets:
+            net.set_delivery_model({"kind": "constant", "delay": 3})
+        for r in range(20):
+            for net in nets:
+                net.run_round()
+            assert_equivalent(nets, f"under constant delay at round {r}")
+        for net in nets:
+            net.set_delivery_model("unit")
+        reports = [net.run_until_stable(max_rounds=4000) for net in nets]
+        assert reports[0] == reports[1] == reports[2]
+        assert_equivalent(nets, "after returning to unit delivery")
+
+    def test_drop_filter_lockstep(self):
+        """A delivery-time drop filter (partition) exits columnar mode;
+        lifting it re-enters — compare at every boundary."""
+        nets = build_triple(12, 17)
+        for net in nets:
+            net.run_until_stable(max_rounds=4000)
+        side_a = frozenset(nets[0].peer_ids[: len(nets[0].peer_ids) // 2])
+
+        def cut(env):
+            return (env.sender in side_a) != (env.target in side_a)
+
+        for net in nets:
+            net.scheduler.set_drop_filter(cut)
+        for r in range(25):
+            for net in nets:
+                net.run_round()
+            assert_equivalent(nets, f"under partition at round {r}")
+        for net in nets:
+            net.scheduler.set_drop_filter(None)
+        reports = [net.run_until_stable(max_rounds=4000) for net in nets]
+        assert reports[0] == reports[1] == reports[2]
+        assert_equivalent(nets, "after healing the partition")
+
+    def test_out_of_band_perturbation_detected(self):
+        """Direct state edits (caught by the version-counter sweep) must
+        re-activate peers under the columnar engine too."""
+        nets = build_triple(10, 31)
+        for net in nets:
+            net.run_until_stable(max_rounds=4000)
+        for net in nets:
+            victim = net.peers[net.peer_ids[3]]
+            foreign = NodeRef.real(net.peer_ids[0])
+            victim.state.nodes[victim.state.max_level()].nu.add(foreign)
+        reports = [net.run_until_stable(max_rounds=4000) for net in nets]
+        assert reports[0] == reports[1] == reports[2]
+        assert_equivalent(nets, "after perturbation")
+
+    def test_change_flag_matches_fingerprint_comparison(self):
+        net = build_random_network(n=10, seed=4, engine="columnar")
+        prev = net.fingerprint()
+        for _ in range(80):
+            net.run_round()
+            cur = net.fingerprint()
+            assert net.scheduler.changed_last_round == (cur != prev)
+            prev = cur
+
+
+class TestColumnarScenarios:
+    """Whole campaigns (traffic + latency + partitions + corruption)
+    through the scenario engine, compared report-for-report."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_named_scenario_equivalent(self, name):
+        spec = make_scenario(name, n=12, seed=5)
+        col = run_scenario(spec, engine="columnar")
+        incr = run_scenario(spec, incremental=True)
+        # dataclass equality covers recovery metrics, repair curve, SLO
+        # ledger, rule firings and the configuration digest
+        assert col == incr, f"columnar diverged under scenario {name!r}"
+
+    def test_scenario_determinism(self):
+        spec = make_scenario("churn-storm", n=12, seed=9)
+        assert run_scenario(spec, engine="columnar") == run_scenario(
+            spec, engine="columnar"
+        )
+
+
+class TestInternTable:
+    """The registry invariants the columnar layout depends on."""
+
+    def test_distinct_triples_never_alias(self):
+        """Property: interning any grid of distinct identity triples
+        yields pairwise-distinct objects with pairwise-distinct iids."""
+        space = IdSpace()
+        rng = ROOT.child("intern").rng()
+        owners = random_peer_ids(32, rng, space)
+        refs = [
+            make_ref(space, owner, level)
+            for owner in owners
+            for level in range(0, space.max_level() + 1, 7)
+        ]
+        seen_iids = {}
+        for ref in refs:
+            assert ref.iid >= 0, "interned ref must carry a dense id"
+            triple = (ref.id, ref.owner, ref.level)
+            prev = seen_iids.get(ref.iid)
+            assert prev is None or prev == triple, (
+                f"iid {ref.iid} aliases {prev} and {triple}"
+            )
+            seen_iids[ref.iid] = triple
+
+    def test_same_triple_is_singleton(self):
+        space = IdSpace()
+        a = make_ref(space, 12345, 3)
+        b = make_ref(space, 12345, 3)
+        assert a is b
+        assert NodeRef.real(999) is NodeRef.real(999)
+
+    def test_columns_agree_with_refs(self):
+        space = IdSpace()
+        ref = make_ref(space, 424242, 5)
+        i = ref.iid
+        assert INTERN.ids[i] == ref.id
+        assert INTERN.owners[i] == ref.owner
+        assert INTERN.levels[i] == ref.level
+        assert INTERN.ref(i) is ref
+
+    def test_pickle_round_trips_to_the_singleton(self):
+        space = IdSpace()
+        ref = make_ref(space, 777, 2)
+        assert pickle.loads(pickle.dumps(ref)) is ref
+        assert copy.deepcopy(ref) is ref
+
+    def test_uninterned_ref_still_compares(self):
+        """Direct construction stays legal: equality and hashing do not
+        depend on interning."""
+        space = IdSpace()
+        interned = make_ref(space, 31337, 1)
+        loose = NodeRef(interned.id, interned.owner, interned.level)
+        assert loose.iid == -1
+        assert loose == interned and hash(loose) == hash(interned)

@@ -387,6 +387,51 @@ class TestSLOCollector:
         hist = latency_histogram([1, 2, 2, 5, 300], bounds=(1, 2, 4, 8))
         assert hist == [("<=1", 1), ("<=2", 2), ("<=4", 0), ("<=8", 1), (">8", 1)]
 
+    def test_latency_histogram_empty_inputs_defined(self):
+        """Regression (ISSUE-6): empty samples and empty bounds must
+        return defined values, not IndexError on the overflow label."""
+        assert latency_histogram([]) == [
+            (f"<={e}", 0) for e in (1, 2, 4, 8, 16, 32, 64, 128, 256)
+        ] + [(">256", 0)]
+        assert latency_histogram([3, 9], bounds=()) == [("all", 2)]
+        assert latency_histogram([], bounds=()) == [("all", 0)]
+
+
+class TestPercentile:
+    """Nearest-rank percentile edges (ISSUE-6 regression)."""
+
+    def test_exact_rank_boundaries(self):
+        from repro.traffic.slo import percentile
+
+        values = list(range(1, 21))  # 1..20
+        # 95% of 20 = rank 19 exactly; the historical q/100*n form
+        # computed 19.000000000000004 and over-selected rank 20
+        assert percentile(values, 95) == 19.0
+        assert percentile(values, 100) == 20.0
+        assert percentile(values, 5) == 1.0
+        assert percentile(values, 0) == 1.0  # q=0 is the minimum
+        assert percentile(values, 50) == 10.0
+
+    def test_single_sample_every_q(self):
+        from repro.traffic.slo import percentile
+
+        for q in (0, 1, 50, 95, 100):
+            assert percentile([7.5], q) == 7.5
+
+    def test_empty_sample(self):
+        from repro.traffic.slo import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 95)
+        assert percentile([], 95, default=0.0) == 0.0
+
+    def test_q_out_of_range_rejected(self):
+        from repro.traffic.slo import percentile
+
+        for q in (-1, 100.5):
+            with pytest.raises(ValueError):
+                percentile([1, 2, 3], q)
+
 
 class TestPayloadSurface:
     def test_requests_are_fingerprintable_and_ref_free(self):
