@@ -91,6 +91,17 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--quick", action="store_true", help="small sizes, 2 seeds")
         if name in ("ablation", "messages", "usability"):
             p.add_argument("--n", type=int, default=32 if name != "usability" else 24)
+        if name == "messages":
+            p.add_argument(
+                "--engine", type=str, default=None,
+                choices=("full", "incremental", "columnar"),
+                help="simulation kernel (default: incremental)",
+            )
+        if name == "traffic":
+            p.add_argument(
+                "--telemetry", action="store_true",
+                help="attach a telemetry recorder per run and report its census",
+            )
     scen = sub.add_parser(
         "scenario",
         help="declarative fault/churn campaigns (see docs/SCENARIOS.md)",
@@ -116,6 +127,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="activation daemon for the whole campaign: a kind "
         "(full, partial, round_robin, unfair), kind:key=value,... "
         "(e.g. partial:p=0.5), or a JSON spec dict",
+    )
+    scen.add_argument(
+        "--telemetry", action="store_true",
+        help="run the campaign with a telemetry recorder attached and "
+        "append the counter census / phase-timer report",
+    )
+    obs = sub.add_parser(
+        "observe",
+        help="telemetry deep-dive on one campaign: counter census, "
+        "kernel phase timers, sampled op traces",
+    )
+    obs.add_argument(
+        "--scenario", type=str, default="flash-crowd",
+        help="named scenario to observe (default: flash-crowd)",
+    )
+    obs.add_argument("--n", type=int, default=None, help="network size override")
+    obs.add_argument("--seed", type=int, default=None, help="campaign seed override")
+    obs.add_argument(
+        "--engine", type=str, default="columnar",
+        choices=("full", "incremental", "columnar"),
+        help="simulation kernel to instrument (default: columnar)",
+    )
+    obs.add_argument(
+        "--trace-sample", type=int, default=1, metavar="K",
+        help="trace every K-th op id (default: 1 = every op)",
+    )
+    obs.add_argument(
+        "--traces", type=int, default=3,
+        help="sampled op traces to print (default: 3)",
+    )
+    obs.add_argument(
+        "--dump", type=str, default=None, metavar="FILE",
+        help="also write every telemetry record to FILE as JSONL",
     )
     return parser
 
@@ -216,10 +260,20 @@ def _run_scenario_command(args: argparse.Namespace) -> List[str]:
         spec = spec.with_overrides(latency=_parse_model_arg(args.latency_model))
     if args.daemon is not None:
         spec = spec.with_overrides(daemon=_parse_model_arg(args.daemon))
-    report = run_scenario(spec)
+    recorder = None
+    if args.telemetry:
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder()
+    report = run_scenario(spec, telemetry=recorder)
     if args.json:
         return [_json.dumps(report.to_dict(), indent=2, sort_keys=True)]
-    return [_format_scenario_report(spec, report)]
+    blocks = [_format_scenario_report(spec, report)]
+    if recorder is not None:
+        from repro.telemetry import render_telemetry
+
+        blocks.append(render_telemetry(recorder))
+    return ["\n\n".join(blocks)]
 
 
 def _format_scenario_report(spec, report) -> str:
@@ -241,6 +295,11 @@ def _format_scenario_report(spec, report) -> str:
         f"rounds (stable={report.stable}, ideal={report.ideal}); "
         f"{report.rule_fires} rule firings total"
     )
+    if any(d for _, d in report.dropped_by_window):
+        lines.append(
+            "drops by window: "
+            + "  ".join(f"{w}:{d}" for w, d in report.dropped_by_window)
+        )
     lines.append("")
     lines.append(f"{'round':>6} {'peers':>5} {'failing':>7} {'violations':>10} "
                  f"{'pending':>7} {'in-flight':>9} {'done':>6}")
@@ -259,12 +318,45 @@ def _format_scenario_report(spec, report) -> str:
     return "\n".join(lines)
 
 
+def _run_observe_command(args: argparse.Namespace) -> List[str]:
+    """Dispatch ``rechord observe`` — one instrumented campaign."""
+    from repro.experiments.scenarios import DEFAULT_N
+    from repro.netsim.rng import SeedSequence
+    from repro.scenarios import make_scenario, run_scenario
+    from repro.telemetry import TelemetryRecorder, render_telemetry
+
+    n = args.n if args.n is not None else DEFAULT_N
+    seed = (
+        args.seed
+        if args.seed is not None
+        else SeedSequence(args.root_seed)
+        .child("scenario-exp", args.scenario, n=n)
+        .seed()
+    )
+    spec = make_scenario(args.scenario, n=n, seed=seed)
+    recorder = TelemetryRecorder(trace_sample_interval=args.trace_sample)
+    run_scenario(spec, engine=args.engine, telemetry=recorder)
+    lines = [
+        f"Observe: {spec.name}  (n={n}, seed={seed}, engine={args.engine})",
+        "=" * 78,
+        "",
+        render_telemetry(recorder, traces=args.traces),
+    ]
+    if args.dump:
+        recorder.dump(args.dump)
+        lines.append("")
+        lines.append(f"[telemetry records written to {args.dump}]")
+    return ["\n".join(lines)]
+
+
 def _dispatch(args: argparse.Namespace) -> List[str]:
     rs = args.root_seed
     out: List[str] = []
     cmd = args.command
     if cmd == "scenario":
         return _run_scenario_command(args)
+    if cmd == "observe":
+        return _run_observe_command(args)
     if cmd in ("fig5", "all"):
         out.append(format_fig5(run_fig5(_sizes(args, PAPER_SIZES), _seeds(args, 10), rs)))
     if cmd in ("fig6", "all"):
@@ -284,7 +376,8 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
         out.append(format_ablation(run_ablation(n=n, seeds=_seeds(args, 5), root_seed=rs)))
     if cmd in ("messages", "all"):
         n = getattr(args, "n", 32)
-        out.append(format_messages(run_messages(n=n, root_seed=rs)))
+        engine = getattr(args, "engine", None)
+        out.append(format_messages(run_messages(n=n, root_seed=rs, engine=engine)))
     if cmd in ("phases", "all"):
         out.append(format_phases(run_phases(_sizes(args, PHASES_SIZES), _seeds(args, 5), rs)))
     if cmd in ("economy", "all"):
@@ -295,7 +388,10 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
         n = getattr(args, "n", 24)
         out.append(format_usability(run_usability(n=n, root_seed=rs)))
     if cmd in ("traffic", "all"):
-        out.append(format_traffic(run_traffic(_sizes(args, TRAFFIC_SIZES), _seeds(args, 1), rs)))
+        out.append(format_traffic(run_traffic(
+            _sizes(args, TRAFFIC_SIZES), _seeds(args, 1), rs,
+            telemetry=getattr(args, "telemetry", False),
+        )))
     return out
 
 

@@ -153,6 +153,9 @@ class ReChordNetwork:
         self._level_flips: Set[int] = set()
         #: application-plane handler installed on every peer (repro.traffic)
         self._traffic_handler = None
+        #: telemetry recorder wired into the scheduler and every peer
+        #: (repro.telemetry); None = disabled, the bit-for-bit default
+        self.telemetry = None
         #: bumped on every join/leave/crash — cheap staleness probe for
         #: snapshot consumers (ReChordRouter caches key on view_version())
         self._membership_version = 0
@@ -183,6 +186,7 @@ class ReChordNetwork:
             self._level_flips.add(peer_id)
             self._refs_out[peer_id] = frozenset()
         peer.traffic = self._traffic_handler
+        peer.telemetry = self.telemetry
         self.scheduler.add_actor(peer_id, peer)
         self._level_snapshot[peer_id] = frozenset(state.nodes)
         self._membership_version += 1
@@ -267,6 +271,50 @@ class ReChordNetwork:
         self._traffic_handler = handler
         for peer in self.peers.values():
             peer.traffic = handler
+
+    # ------------------------------------------------------------------
+    # telemetry plane (repro.telemetry)
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, recorder=None):
+        """Attach a telemetry recorder to the kernel and every peer.
+
+        Purely observational (counters, wall-clock phase spans, sampled
+        op traces): a run with telemetry enabled is bit-for-bit
+        identical to the same run without — fingerprints, reports and
+        baselines do not move.  Pass an existing
+        :class:`repro.telemetry.TelemetryRecorder` to share one sink
+        across networks, or let this create a fresh one.  Returns the
+        attached recorder.
+        """
+        if recorder is None:
+            from repro.telemetry import TelemetryRecorder
+
+            recorder = TelemetryRecorder()
+        self.telemetry = recorder
+        self.scheduler.set_telemetry(recorder)
+        for peer in self.peers.values():
+            peer.telemetry = recorder
+        return recorder
+
+    def disable_telemetry(self) -> None:
+        """Detach the telemetry recorder from the kernel and all peers."""
+        self.telemetry = None
+        self.scheduler.set_telemetry(None)
+        for peer in self.peers.values():
+            peer.telemetry = None
+
+    def telemetry_census(self) -> dict:
+        """The deterministic counter census, rule firings included.
+
+        Merges the engine-invariant telemetry counters with a snapshot
+        of the per-rule firing counters (which the protocol layer counts
+        whether or not telemetry is enabled).  Raises if no recorder is
+        attached.
+        """
+        if self.telemetry is None:
+            raise RuntimeError("telemetry is not enabled on this network")
+        self.telemetry.rule_fires = dict(self.counters().fires)
+        return self.telemetry.census()
 
     @property
     def membership_version(self) -> int:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from operator import attrgetter
+from time import perf_counter as _perf
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.events import (
@@ -65,7 +66,10 @@ _KEY = attrgetter("_key")
 class ReChordPeer:
     """Actor running the Re-Chord rules for one peer."""
 
-    __slots__ = ("state", "config", "counters", "_ref_alive", "_replay_delta", "traffic")
+    __slots__ = (
+        "state", "config", "counters", "_ref_alive", "_replay_delta",
+        "traffic", "telemetry",
+    )
 
     def __init__(
         self,
@@ -85,12 +89,18 @@ class ReChordPeer:
         #: application-plane handler (see repro.traffic); installed by
         #: ReChordNetwork.attach_traffic, None when no plane is attached
         self.traffic = None
+        #: TelemetryRecorder receiving per-rule wall-clock spans; installed
+        #: by ReChordNetwork.enable_telemetry, None (disabled) by default —
+        #: the only cost then is this one attribute check per step
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # actor entry point
     # ------------------------------------------------------------------
     def step(self, inbox: Sequence[Envelope], ctx: RoundContext) -> None:
         """One synchronous round: apply inbox, purge, rules 1-6, traffic."""
+        if self.telemetry is not None:
+            return self._step_timed(inbox, ctx)
         fires_before = dict(self.counters.fires)
         app: Optional[List] = None
         if self.traffic is not None:
@@ -117,6 +127,58 @@ class ReChordPeer:
             # not become a replay template (see AppPayload contract)
             ctx.reexecute_next_round()
             self.traffic.handle(self, app, ctx)
+        fires = self.counters.fires
+        self._replay_delta = {
+            rule: count - fires_before.get(rule, 0)
+            for rule, count in fires.items()
+            if count != fires_before.get(rule, 0)
+        }
+
+    def _step_timed(self, inbox: Sequence[Envelope], ctx: RoundContext) -> None:
+        """:meth:`step` with per-rule ``perf_counter`` spans.
+
+        A verbatim copy of the pipeline (same order, same semantics —
+        the differential suites run with telemetry on to prove it) that
+        accumulates each phase's wall time under a ``rule.*`` /
+        ``peer.*`` label, naming the vectorization targets for the
+        ROADMAP's rule-batching work.  Kept as a separate method so the
+        disabled path pays nothing but the attribute check above.
+        """
+        add = self.telemetry.add_time
+        fires_before = dict(self.counters.fires)
+        app: Optional[List] = None
+        if self.traffic is not None:
+            app = [env.payload for env in inbox if isinstance(env.payload, AppPayload)]
+            if app:
+                inbox = [env for env in inbox if not isinstance(env.payload, AppPayload)]
+        t = _perf()
+        self._apply_inbox(inbox)
+        t2 = _perf(); add("peer.apply_inbox", t2 - t); t = t2
+        self._purge()
+        t2 = _perf(); add("rule.purge", t2 - t); t = t2
+        cfg = self.config
+        if cfg.virtual_nodes:
+            self._rule1_virtual_nodes()
+            t2 = _perf(); add("rule.1_virtual_nodes", t2 - t); t = t2
+        if cfg.overlap:
+            self._rule2_overlap()
+            t2 = _perf(); add("rule.2_overlap", t2 - t); t = t2
+        if cfg.closest_real:
+            self._rule3_closest_real(ctx)
+            t2 = _perf(); add("rule.3_closest_real", t2 - t); t = t2
+        if cfg.linearize:
+            self._rule4_linearize(ctx)
+            t2 = _perf(); add("rule.4_linearize", t2 - t); t = t2
+        if cfg.ring:
+            self._rule5_ring(ctx)
+            t2 = _perf(); add("rule.5_ring", t2 - t); t = t2
+        if cfg.connection:
+            self._rule6_connection(ctx)
+            t2 = _perf(); add("rule.6_connection", t2 - t); t = t2
+        if app:
+            ctx.reexecute_next_round()
+            self.traffic.handle(self, app, ctx)
+            add("peer.traffic", _perf() - t)
         fires = self.counters.fires
         self._replay_delta = {
             rule: count - fires_before.get(rule, 0)

@@ -10,7 +10,7 @@ flow — connection-edge streams, candidate announcements, ring re-issues
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.runner import DEFAULT_ROOT_SEED
 from repro.netsim.rng import SeedSequence
@@ -19,11 +19,19 @@ from repro.workloads.initial import build_random_network
 
 @dataclass(frozen=True)
 class MessageProfile:
-    """Per-round message series for one stabilization run."""
+    """Per-round message series for one stabilization run.
+
+    ``executed`` is the per-round executed-actor series; entries are
+    ``None`` for rounds where the kernel reported no execute/replay
+    split (the legacy full-scan engine) — the ``-1`` sentinel the trace
+    recorder stores internally never appears here and ``None`` entries
+    are excluded from all series arithmetic.
+    """
 
     n: int
     series: Tuple[int, ...]
     rounds_to_stable: int
+    executed: Tuple[Optional[int], ...] = ()
 
     @property
     def peak(self) -> int:
@@ -40,12 +48,39 @@ class MessageProfile:
         """Total messages until stabilization."""
         return sum(self.series)
 
+    @property
+    def executed_mean(self) -> Optional[float]:
+        """Mean executed actors per round over reporting rounds.
 
-def run_messages(n: int = 32, seed: int | None = None, root_seed: int = DEFAULT_ROOT_SEED) -> MessageProfile:
-    """Trace one stabilization run's message counts."""
+        ``None`` when no round reported a split (full-scan engine).
+        """
+        known = [e for e in self.executed if e is not None]
+        if not known:
+            return None
+        return sum(known) / len(known)
+
+    @property
+    def executed_steady(self) -> Optional[int]:
+        """Executed actors in the last recorded round (``None`` if n/a)."""
+        return self.executed[-1] if self.executed else None
+
+
+def run_messages(
+    n: int = 32,
+    seed: int | None = None,
+    root_seed: int = DEFAULT_ROOT_SEED,
+    engine: Optional[str] = None,
+) -> MessageProfile:
+    """Trace one stabilization run's message counts.
+
+    ``engine`` selects the simulation kernel (``full``, ``incremental``
+    or ``columnar``; default incremental) — the message series is
+    engine-invariant, the executed-actor series reports ``n/a`` under
+    the full-scan kernel.
+    """
     if seed is None:
         seed = SeedSequence(root_seed).child("messages", n=n).seed()
-    net = build_random_network(n=n, seed=seed, record_trace=True)
+    net = build_random_network(n=n, seed=seed, record_trace=True, engine=engine)
     report = net.run_until_stable(max_rounds=20_000)
     # two extra rounds past stability to sample the steady-state rate
     net.run(2)
@@ -54,6 +89,7 @@ def run_messages(n: int = 32, seed: int | None = None, root_seed: int = DEFAULT_
         n=n,
         series=tuple(net.trace.messages_series()),
         rounds_to_stable=report.rounds_to_stable,
+        executed=tuple(net.trace.executed_series()),
     )
 
 
@@ -62,6 +98,13 @@ def format_messages(profile: MessageProfile) -> str:
     peak = max(1, profile.peak)
     blocks = " ▁▂▃▄▅▆▇█"
     spark = "".join(blocks[min(8, (9 * v) // (peak + 1))] for v in profile.series)
+    mean = profile.executed_mean
+    steady = profile.executed_steady
+    executed = (
+        "n/a (kernel reports no execute/replay split)"
+        if mean is None
+        else f"mean {mean:.1f}, steady {steady if steady is not None else 'n/a'}"
+    )
     return "\n".join(
         [
             f"E12 — message complexity (n={profile.n})",
@@ -70,6 +113,7 @@ def format_messages(profile: MessageProfile) -> str:
             f"peak msgs/round  : {profile.peak}",
             f"steady msgs/round: {profile.steady_rate}",
             f"total msgs       : {profile.total}",
+            f"executed actors  : {executed}",
             f"per-round series : {spark}",
         ]
     )

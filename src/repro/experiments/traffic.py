@@ -76,6 +76,9 @@ class TrafficChurnRun:
     totals: dict
     latency_hist: Tuple[Tuple[str, int], ...]
     violations: int
+    #: counter census + kernel stats when the run carried a telemetry
+    #: recorder (None otherwise); excluded from the checked-in JSON
+    telemetry: Optional[dict] = None
 
 
 def _make_buckets() -> List[Tuple[str, Optional[int]]]:
@@ -115,11 +118,20 @@ def measure_one(
     rate: Optional[float] = None,
     churn_events: Optional[int] = None,
     deadline: int = 48,
+    telemetry: object = None,
 ) -> TrafficChurnRun:
-    """One full churn-recovery traffic run at size ``n``."""
+    """One full churn-recovery traffic run at size ``n``.
+
+    ``telemetry`` opts the run into the observation plane (``True`` for
+    a fresh recorder, or an existing one); purely observational — the
+    recovery profile is identical with or without it.
+    """
     seq = SeedSequence(seed).child("traffic", n=n)
     build_seed = seq.child("build").seed()
     net = build_ideal_network(n, build_seed, incremental=True)
+    recorder = None
+    if telemetry:
+        recorder = net.enable_telemetry(None if telemetry is True else telemetry)
     # twin without traffic: the exact oracle for overlay recovery time
     # (traffic never mutates overlay state, so the repair trajectory of
     # the traffic-carrying network is identical)
@@ -177,6 +189,12 @@ def measure_one(
                 max_latency=max(lats) if lats else None,
             )
         )
+    tel = None
+    if recorder is not None:
+        recorder.rule_fires = dict(net.counters().fires)
+        for comp in plane.collector.traced():
+            recorder.add_trace(comp.op_id, comp.op, comp.outcome, comp.trace.hops)
+        tel = {"census": recorder.census(), "kernel": recorder.kernel_stats()}
     return TrafficChurnRun(
         n=n,
         seed=seed,
@@ -187,6 +205,7 @@ def measure_one(
         totals=plane.collector.summary(),
         latency_hist=tuple(latency_histogram(plane.collector.routed_latencies())),
         violations=len(plane.collector.violations),
+        telemetry=tel,
     )
 
 
@@ -194,13 +213,18 @@ def run_traffic(
     sizes: Sequence[int] = DEFAULT_SIZES,
     seeds: int = 1,
     root_seed: int = DEFAULT_ROOT_SEED,
+    telemetry: bool = False,
 ) -> List[TrafficChurnRun]:
-    """The churn-recovery traffic sweep (one run per size per seed)."""
+    """The churn-recovery traffic sweep (one run per size per seed).
+
+    ``telemetry=True`` attaches a fresh recorder to every run and
+    carries its census on the run record (observational only).
+    """
     runs: List[TrafficChurnRun] = []
     for n in sizes:
         for rep in range(seeds):
             seed = SeedSequence(root_seed).child("traffic-exp", n=n, rep=rep).seed()
-            runs.append(measure_one(n, seed))
+            runs.append(measure_one(n, seed, telemetry=telemetry))
     return runs
 
 
@@ -231,6 +255,16 @@ def format_traffic(runs: Sequence[TrafficChurnRun]) -> str:
         lines.append(f"{'latency histogram (rounds)':>28} {hist}")
         outcomes = "  ".join(f"{k}:{v}" for k, v in t["outcomes"].items())
         lines.append(f"{'outcomes':>28} {outcomes}")
+        if run.telemetry is not None:
+            census = run.telemetry["census"]
+            msgs = "  ".join(
+                f"{k}:{v}" for k, v in census["messages"].items()
+            )
+            lines.append(
+                f"{'telemetry':>28} rounds:{census['rounds']}  "
+                f"sent:{census['sent']}  dropped:{census['dropped']}"
+            )
+            lines.append(f"{'envelope census':>28} {msgs}")
     return "\n".join(lines)
 
 

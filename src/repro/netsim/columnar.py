@@ -49,6 +49,8 @@ executable references.
 from __future__ import annotations
 
 from bisect import insort
+from collections import Counter
+from time import perf_counter as _perf
 from typing import Callable, Dict, Hashable, List, Optional, Set
 
 from repro.netsim.messages import (
@@ -107,6 +109,11 @@ class ColumnarScheduler(SynchronousScheduler):
         self._removed_mid: List[list] = []
         #: sender -> (prev_out, new_out) outbox patches of this round
         self._patched: Dict[Hashable, tuple] = {}
+        #: telemetry mirror of ``_flow_sent``, broken out by payload type
+        #: name; maintained only while a recorder is attached (every
+        #: ``_flow_sent`` adjustment has a matching typed adjustment, so
+        #: the per-round envelope census equals the parent kernel's)
+        self._tel_flow_types: Optional[Counter] = None
 
     # ------------------------------------------------------------------
     # envelope accounting (pending hash + ref index + pending count)
@@ -201,9 +208,14 @@ class ColumnarScheduler(SynchronousScheduler):
         self._settled = {key: round_no - 1 for key in self._actors}
         saved_hash = self._pending_hash
         self._pending_hash = 0
+        tel_types = Counter() if self._telemetry is not None else None
+        self._tel_flow_types = tel_types
         for key in self._actors:
             out = self._out.get(key, [])
             self._flow_sent += len(out)
+            if tel_types is not None:
+                for env in out:
+                    tel_types[type(env.payload).__name__] += 1
             drops = self._install_sender_flows(key, out)
             self._drop_by[key] = drops
             self._flow_dropped += drops
@@ -249,6 +261,7 @@ class ColumnarScheduler(SynchronousScheduler):
         self._flow_sent = 0
         self._flow_pending = 0
         self._settled = {}
+        self._tel_flow_types = None
         self._cols_active = False
 
     # ------------------------------------------------------------------
@@ -367,6 +380,9 @@ class ColumnarScheduler(SynchronousScheduler):
         # -- as a sender: its steady flow stops --------------------------
         committed = self._patched[key][0] if key in self._patched else self._out.get(key, [])
         self._flow_sent -= len(committed or ())
+        if self._tel_flow_types is not None:
+            for env in committed or ():
+                self._tel_flow_types[type(env.payload).__name__] -= 1
         self._flow_dropped -= self._drop_by.pop(key, 0)
         for subs in self._dead_in.values():
             subs.pop(key, None)
@@ -431,6 +447,14 @@ class ColumnarScheduler(SynchronousScheduler):
             if not (new.is_unit and old.is_unit) and new.to_dict() != old.to_dict():
                 self._exit_columnar()
         super().set_delivery_model(model)
+
+    def set_telemetry(self, recorder) -> None:
+        if self._cols_active:
+            # the typed flow mirror is derived at columnar entry; exit so
+            # the next fast round rebuilds it consistently (observably
+            # neutral — exit/enter is a behavior-preserving transition)
+            self._exit_columnar()
+        super().set_telemetry(recorder)
 
     # ------------------------------------------------------------------
     # pending-set observers
@@ -545,6 +569,7 @@ class ColumnarScheduler(SynchronousScheduler):
 
     def _run_round_columnar(self) -> None:
         round_no = self._round
+        tel = self._telemetry
         n_start = len(self._actors)
         state_changed_any = False
         flow_changed = self._flow_flag
@@ -574,11 +599,22 @@ class ColumnarScheduler(SynchronousScheduler):
                 continue
             self._col_pos = key
             executed += 1
-            inbox = self._materialize_inbox(key)
-            self._settle_actor(key, round_no - 1)
-            self._settled[key] = round_no
-            ctx = RoundContext(round_no, key, self)
-            actor.step(inbox, ctx)
+            if tel is None:
+                inbox = self._materialize_inbox(key)
+                self._settle_actor(key, round_no - 1)
+                self._settled[key] = round_no
+                ctx = RoundContext(round_no, key, self)
+                actor.step(inbox, ctx)
+            else:
+                _t0 = _perf()
+                inbox = self._materialize_inbox(key)
+                tel.add_time("kernel.materialize", _perf() - _t0)
+                self._settle_actor(key, round_no - 1)
+                self._settled[key] = round_no
+                ctx = RoundContext(round_no, key, self)
+                _t0 = _perf()
+                actor.step(inbox, ctx)
+                tel.add_time("kernel.execute", _perf() - _t0)
             out = ctx._outbox
             probes = self._probes.get(key)
             ver_fn = probes[0] if probes else None
@@ -643,6 +679,9 @@ class ColumnarScheduler(SynchronousScheduler):
                         break
 
         # ---- pass 2: the delivery point ---------------------------------
+        _t0 = _perf() if tel is not None else 0.0
+        tel_types = self._tel_flow_types
+        tel_extra: Optional[Counter] = Counter() if tel is not None else None
         sent_extra = 0
         dropped_extra = 0
         flt = self._drop_filter
@@ -652,6 +691,11 @@ class ColumnarScheduler(SynchronousScheduler):
             if sender not in self._actors:
                 continue
             self._flow_sent += len(new) - len(prev or ())
+            if tel_types is not None:
+                for env in new:
+                    tel_types[type(env.payload).__name__] += 1
+                for env in prev or ():
+                    tel_types[type(env.payload).__name__] -= 1
             drop_delta = 0
             for target in changed:
                 old_sub = prev_by.get(target)
@@ -708,6 +752,9 @@ class ColumnarScheduler(SynchronousScheduler):
                 expired += 1
                 continue
             sent_extra += len(final_out)
+            if tel_extra is not None:
+                for env in final_out:
+                    tel_extra[type(env.payload).__name__] += 1
             by_target: Dict[Hashable, List[Envelope]] = {}
             for env in final_out:
                 by_target.setdefault(env.target, []).append(env)
@@ -742,6 +789,19 @@ class ColumnarScheduler(SynchronousScheduler):
         # (d) boundary bookkeeping — identical observables to the parent
         self.dropped_last_round = self._flow_dropped + dropped_extra
         sent = self._flow_sent + sent_extra
+        if tel is not None:
+            tel.add_time("kernel.patch", _perf() - _t0)
+            msg = tel.messages
+            if tel_types:
+                for name, count in tel_types.items():
+                    if count:
+                        msg[name] += count
+            if tel_extra:
+                msg.update(tel_extra)
+            tel.on_round(
+                sent=sent, dropped=self.dropped_last_round,
+                executed=executed, replayed=n_start - executed - expired,
+            )
         self.changed_last_round = state_changed_any or flow_changed
         self.state_changed_keys = changed_keys
         self.executed_last_round = executed

@@ -98,6 +98,7 @@ from repro.netsim.messages import (
 )
 from repro.netsim.timemodel import TimeModel, make_daemon, make_delivery_model
 from repro.netsim.trace import TraceRecorder
+from time import perf_counter as _perf
 
 
 #: envelope intern-cache ceiling per scheduler; on overflow the cache is
@@ -200,6 +201,10 @@ class SynchronousScheduler:
         #: (sender, target, payload) -> interned Envelope (see RoundContext.send)
         self._env_cache: Dict[tuple, Envelope] = {}
         self._trace = trace
+        #: optional TelemetryRecorder (None = disabled, the default);
+        #: every instrumented path is guarded by one ``is None`` check
+        #: per round, and nothing it records ever gates behavior
+        self._telemetry = None
         #: the pluggable notion of time (delivery latency + activation)
         self.time_model = time_model if time_model is not None else TimeModel.unit()
         self._delivery = self.time_model.delivery
@@ -424,6 +429,17 @@ class SynchronousScheduler:
     def has_drop_filter(self) -> bool:
         """Whether a delivery-time fault filter is currently installed."""
         return self._drop_filter is not None
+
+    def set_telemetry(self, recorder) -> None:
+        """Attach (or detach, with ``None``) a telemetry recorder.
+
+        Purely observational: the recorder receives per-round counter
+        updates, an envelope census by payload type, and wall-clock
+        phase spans.  It never influences scheduling, delivery, or the
+        stability decision, so runs with and without telemetry are
+        bit-for-bit identical.
+        """
+        self._telemetry = recorder
 
     def wake_ref_receivers(self, owners: Set) -> bool:
         """Columnar fast path for the network's in-flight ref scan.
@@ -663,6 +679,8 @@ class SynchronousScheduler:
     # -- legacy full-scan kernel (activity_tracking=False) --------------
     def _run_round_full(self, active: Optional[set]) -> None:
         round_no = self._round
+        tel = self._telemetry
+        _t0 = _perf() if tel is not None else 0.0
         outboxes: List[List[Envelope]] = []
         # Snapshot keys: actors added mid-round (e.g. by a join event
         # processed inside another actor) first step next round.
@@ -679,6 +697,9 @@ class SynchronousScheduler:
             actor.step(inbox, ctx)
             outboxes.append(ctx._outbox)
 
+        if tel is not None:
+            tel.add_time("kernel.step", _perf() - _t0, len(outboxes))
+            _t0 = _perf()
         sent = 0
         _, dropped = self._drain_matured(round_no)
         flt = self._drop_filter
@@ -698,6 +719,15 @@ class SynchronousScheduler:
                     continue
                 box.append(env)
         self.dropped_last_round = dropped
+        if tel is not None:
+            tel.add_time("kernel.deliver", _perf() - _t0)
+            msg = tel.messages
+            for outbox in outboxes:
+                for env in outbox:
+                    msg[type(env.payload).__name__] += 1
+            # the full-scan kernel executes every stepped actor
+            tel.on_round(sent=sent, dropped=dropped,
+                         executed=len(outboxes), replayed=0)
         if self._trace is not None:
             self._trace.record_round(round_no, actors=len(keys), sent=sent, dropped=dropped)
         self._round += 1
@@ -705,6 +735,8 @@ class SynchronousScheduler:
     # -- activity-tracked kernel, full activation ------------------------
     def _run_round_tracked(self) -> None:
         round_no = self._round
+        tel = self._telemetry
+        _t0 = _perf() if tel is not None else 0.0
         keys = sorted(self._actors)
         state_changed_any = False
         flow_changed = self._flow_flag  # posts / membership since last round
@@ -801,6 +833,9 @@ class SynchronousScheduler:
                 contributions.append(out)
                 new_pending = (new_pending + self._out_hash.get(key, 0)) & _MASK
 
+        if tel is not None:
+            tel.add_time("kernel.step", _perf() - _t0, executed + replayed)
+            _t0 = _perf()
         sent = 0
         inboxes = self._inboxes
         flt = self._drop_filter
@@ -828,6 +863,14 @@ class SynchronousScheduler:
                     continue
                 box.append(env)
         self.dropped_last_round = dropped
+        if tel is not None:
+            tel.add_time("kernel.deliver", _perf() - _t0)
+            msg = tel.messages
+            for outbox in contributions:
+                for env in outbox:
+                    msg[type(env.payload).__name__] += 1
+            tel.on_round(sent=sent, dropped=dropped,
+                         executed=executed, replayed=replayed)
         if token_mode:
             cur = self._pending_counter()
             pending_changed = (
@@ -880,6 +923,8 @@ class SynchronousScheduler:
         exact so later full rounds still detect stability correctly.
         """
         round_no = self._round
+        tel = self._telemetry
+        _t0 = _perf() if tel is not None else 0.0
         keys = sorted(self._actors)
         outboxes: List[List[Envelope]] = []
         executed = 0
@@ -915,6 +960,9 @@ class SynchronousScheduler:
             self._out[key] = out
             self._out_hash[key] = _outbox_hash(out)
 
+        if tel is not None:
+            tel.add_time("kernel.step", _perf() - _t0, executed)
+            _t0 = _perf()
         sent = 0
         matured, dropped = self._drain_matured(round_no)
         flt = self._drop_filter
@@ -934,6 +982,14 @@ class SynchronousScheduler:
                     continue
                 box.append(env)
         self.dropped_last_round = dropped
+        if tel is not None:
+            tel.add_time("kernel.deliver", _perf() - _t0)
+            msg = tel.messages
+            for outbox in outboxes:
+                for env in outbox:
+                    msg[type(env.payload).__name__] += 1
+            tel.on_round(sent=sent, dropped=dropped,
+                         executed=executed, replayed=0)
         # pending hash cannot be derived from contributions alone here
         # (sleepers kept their inboxes): recompute it exactly
         pending = 0

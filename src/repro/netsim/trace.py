@@ -8,7 +8,7 @@ during benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,16 @@ class TraceRecorder:
     def messages_series(self) -> List[int]:
         """Per-round sent-message counts, in order."""
         return [r.sent for r in self._rounds]
+
+    def executed_series(self) -> List[Optional[int]]:
+        """Per-round executed-actor counts, ``None`` where unreported.
+
+        The ``-1`` sentinel the full-scan kernel stores (it has no
+        execute/replay split) is mapped to ``None`` here so consumers
+        can render "n/a" instead of treating ``-1`` as a literal actor
+        count — never include ``None`` entries in series arithmetic.
+        """
+        return [r.executed if r.executed >= 0 else None for r in self._rounds]
 
     def clear(self) -> None:
         """Drop all records."""

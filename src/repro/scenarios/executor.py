@@ -88,7 +88,16 @@ class ScenarioReport:
     slo: Optional[dict]
     rule_fires: int
     config_digest: str
+    #: drop-filter hits per event window, in campaign order: ("start",
+    #: total), one (f"r{round}:{kinds}", total) per event-firing round,
+    #: then ("recovery", total).  Drops are behavior-affecting, so the
+    #: totals are engine-invariant and participate in comparison.
+    dropped_by_window: Tuple[Tuple[str, int], ...] = ()
     activity: Dict[str, int] = field(compare=False, default_factory=dict)
+    #: per-window telemetry segments + final census when the campaign
+    #: ran with a recorder attached (None otherwise); wall-clock data
+    #: never participates in comparison
+    telemetry: Optional[dict] = field(compare=False, default=None)
 
     def to_dict(self) -> dict:
         """JSON-serializable form (stable key order left to callers)."""
@@ -108,7 +117,9 @@ class ScenarioReport:
             "slo": self.slo,
             "rule_fires": self.rule_fires,
             "config_digest": self.config_digest,
+            "dropped_by_window": [list(w) for w in self.dropped_by_window],
             "activity": dict(self.activity),
+            "telemetry": self.telemetry,
         }
         return out
 
@@ -181,18 +192,32 @@ def run_scenario(
     spec: ScenarioSpec,
     incremental: bool = True,
     engine: Optional[str] = None,
+    telemetry: object = None,
 ) -> ScenarioReport:
     """Execute one campaign and report recovery + SLO metrics.
 
     ``incremental`` selects the simulation kernel (``engine`` names one
     explicitly — ``"full"``, ``"incremental"`` or ``"columnar"`` — and
     wins over the boolean); the report (minus the comparison-excluded
-    ``activity`` field) is identical for every kernel — the
-    engine-equivalence suite runs every named scenario through this
-    function once per engine and compares.
+    ``activity`` and ``telemetry`` fields) is identical for every
+    kernel — the engine-equivalence suite runs every named scenario
+    through this function once per engine and compares.
+
+    ``telemetry`` opts the campaign into the observation plane: pass
+    ``True`` for a fresh :class:`repro.telemetry.TelemetryRecorder` or
+    an existing recorder to reuse (e.g. one with a wider trace sampling
+    interval).  The recorder is attached *before* the traffic plane so
+    sampled ops carry hop traces, which are harvested into the recorder
+    at campaign end; per-window counter segments and the final census
+    land in the report's ``telemetry`` field.  Attaching a recorder
+    never changes the rest of the report (the observational contract of
+    :meth:`ReChordNetwork.enable_telemetry`).
     """
     seq = SeedSequence(spec.seed).child("scenario", spec.name, n=spec.n)
     net = _build_start(spec, seq, incremental, engine=engine)
+    recorder = None
+    if telemetry:
+        recorder = net.enable_telemetry(None if telemetry is True else telemetry)
     # campaign-wide time model: installed after the (unit-time) start
     # phase so pre-stabilized starts build fast, before any traffic or
     # adversity round runs; both kernels install identically
@@ -239,23 +264,67 @@ def run_scenario(
 
     samples: List[RecoverySample] = [_sample(net, plane)]
 
+    # ---- event windows ----------------------------------------------
+    # the campaign is segmented at event-firing rounds: "start", one
+    # f"r{round}:{kinds}" window per firing boundary, then "recovery".
+    # per-window drop-filter hits are engine-invariant (drops change
+    # behavior, so the equivalence suites pin them); per-window
+    # telemetry counter segments ride along when a recorder is attached
+    window = "start"
+    window_order: List[str] = [window]
+    window_drops: Dict[str, int] = {window: 0}
+    window_rounds: Dict[str, int] = {window: 0}
+    tel_segments: List[dict] = []
+    tel_snap = [0, 0, 0]  # recorder (rounds, sent, dropped) at window open
+
+    def _flush_segment() -> None:
+        if recorder is None:
+            return
+        c = recorder.counters
+        cur = [c.get("rounds", 0), c.get("sent", 0), c.get("dropped", 0)]
+        if cur[0] > tel_snap[0]:
+            tel_segments.append(
+                {
+                    "window": window,
+                    "rounds": cur[0] - tel_snap[0],
+                    "sent": cur[1] - tel_snap[1],
+                    "dropped": cur[2] - tel_snap[2],
+                }
+            )
+        tel_snap[:] = cur
+
+    def _open_window(label: str) -> None:
+        nonlocal window
+        _flush_segment()
+        window = label
+        if label not in window_drops:
+            window_order.append(label)
+            window_drops[label] = 0
+            window_rounds[label] = 0
+
     def run_one_round() -> None:
         if plane is not None:
             plane.run_round()
         else:
             net.run_round()
+        window_drops[window] += net.scheduler.dropped_last_round
+        window_rounds[window] += 1
 
     # ---- adversity window -------------------------------------------
     for offset in range(spec.rounds):
-        fired = False
+        fired_kinds: List[str] = []
         for stream, kind, params in timeline.get(offset, ()):
             rng = seq.child(*stream).rng()
             apply_event_spec(ctx, rng, kind, params)
-            fired = True
+            fired_kinds.append(kind)
+        fired = bool(fired_kinds)
         if fired:
             # capture the damage at the boundary it lands on, before the
             # protocol gets a round to repair it (the repair curve's peak)
             samples.append(_sample(net, plane))
+            _open_window(
+                f"r{net.round_no}:{'+'.join(sorted(set(fired_kinds)))}"
+            )
         run_one_round()
         if fired or (offset + 1) % spec.sample_every == 0:
             samples.append(_sample(net, plane))
@@ -263,6 +332,7 @@ def run_scenario(
     # ---- recovery: workload off, run to configuration fixpoint ------
     if plane is not None and plane.generator is not None:
         plane.generator.active = False
+    _open_window("recovery")
     adversity_end = net.round_no
     recovery_rounds = -1
     prev = net.fingerprint()
@@ -291,6 +361,21 @@ def run_scenario(
             "replayed_last_round": replayed_last,
             "dirty_next_round": net.scheduler.dirty_count(),
         }
+    tel_out: Optional[dict] = None
+    if recorder is not None:
+        _flush_segment()
+        recorder.rule_fires = dict(net.counters().fires)
+        if plane is not None:
+            # harvest hop traces of completed sampled ops into the sink
+            for comp in plane.collector.traced():
+                recorder.add_trace(
+                    comp.op_id, comp.op, comp.outcome, comp.trace.hops
+                )
+        tel_out = {
+            "census": recorder.census(),
+            "kernel": recorder.kernel_stats(),
+            "segments": tel_segments,
+        }
     return ScenarioReport(
         name=spec.name,
         n=spec.n,
@@ -307,5 +392,9 @@ def run_scenario(
         slo=plane.collector.summary() if plane is not None else None,
         rule_fires=net.counters().total(),
         config_digest=digest,
+        dropped_by_window=tuple(
+            (w, window_drops[w]) for w in window_order if window_rounds[w]
+        ),
         activity=activity,
+        telemetry=tel_out,
     )

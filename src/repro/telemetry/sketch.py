@@ -1,0 +1,116 @@
+"""Streaming percentile sketch: the P² algorithm.
+
+Jain & Chlamtac's P² ("P-squared") algorithm maintains a running
+quantile estimate in O(1) memory — five markers whose heights are
+nudged toward their ideal positions with a piecewise-parabolic
+interpolation — without storing the observations.  This is the
+building block for million-op traffic campaigns where the SLO
+collector cannot afford a full latency histogram.
+
+Until five observations have arrived the sketch answers with the exact
+nearest-rank percentile of what it has seen, so small runs lose
+nothing.
+
+>>> sk = P2Quantile(0.5)
+>>> for x in [1, 2, 3, 4, 5]:
+...     sk.add(x)
+>>> sk.value()
+3.0
+>>> len(sk)
+5
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+
+class P2Quantile:
+    """A single streaming quantile estimate (0 < q < 1)."""
+
+    __slots__ = ("q", "_count", "_heights", "_pos", "_want", "_dwant")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._count = 0
+        self._heights: List[float] = []  # marker heights (first 5: raw samples)
+        self._pos: List[float] = []      # actual marker positions (1-based)
+        self._want: List[float] = []     # desired marker positions
+        self._dwant = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self._count += 1
+        h = self._heights
+        if self._count <= 5:
+            h.append(x)
+            if self._count == 5:
+                h.sort()
+                self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self._want = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                              3.0 + 2.0 * q, 5.0]
+            return
+
+    # -- steady state: five markers ------------------------------------
+        pos = self._pos
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 3
+            for i in range(1, 4):
+                if x < h[i]:
+                    k = i - 1
+                    break
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        want = self._want
+        for i in range(5):
+            want[i] += self._dwant[i]
+        # adjust the three interior markers toward their ideal positions
+        for i in range(1, 4):
+            d = want[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._pos
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._pos
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> Optional[float]:
+        """The current estimate (exact below five samples; None if empty)."""
+        if self._count == 0:
+            return None
+        if self._count <= 5:
+            ordered = sorted(self._heights)
+            # nearest-rank, mirroring traffic.slo.percentile semantics
+            n = len(ordered)
+            rank = min(max(math.ceil(self.q * 100 * n / 100.0), 1), n)
+            return float(ordered[rank - 1])
+        return self._heights[2]

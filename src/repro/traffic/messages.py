@@ -22,10 +22,11 @@ rules exact without extra scans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
 
 from repro.netsim.messages import AppPayload
+from repro.telemetry.tracing import TraceContext
 
 #: operation kinds carried by requests
 OP_LOOKUP = "lookup"
@@ -64,6 +65,11 @@ class LookupRequest(AppPayload):
     hops: int = 0
     path: Tuple[int, ...] = ()
     value: Any = None
+    #: causal hop trace of a telemetry-sampled op.  ``compare=False``
+    #: keeps it out of equality/hash AND it is excluded from
+    #: ``canonical()``: a traced run is byte-identical to an untraced
+    #: one (fingerprints, interning, pending multisets all unchanged)
+    trace: Optional[TraceContext] = field(compare=False, default=None)
 
     def forwarded(self, next_hop: int) -> "LookupRequest":
         """The hop-stamped copy sent to ``next_hop``."""
@@ -108,6 +114,8 @@ class LookupReply(AppPayload):
     owner: int
     hops: int
     value: Any = None
+    #: completed hop trace of a sampled op (see LookupRequest.trace)
+    trace: Optional[TraceContext] = field(compare=False, default=None)
 
     def canonical(self) -> tuple:
         """Sortable identity tuple for fingerprints."""

@@ -45,7 +45,10 @@ seen-set) or dead-end — all surfaced as distinct outcomes by the
 from __future__ import annotations
 
 from bisect import bisect_left
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Optional, Sequence, Set
+
+from repro.telemetry.tracing import TraceContext
 
 from repro.idspace.keys import key_id
 from repro.netsim.messages import Envelope
@@ -222,6 +225,14 @@ class TrafficPlane:
             path=(origin,),
             value=value,
         )
+        # causal tracing: sampled ops carry a TraceContext on the request
+        # (outside payload equality — see messages.LookupRequest.trace)
+        tel = self.net.telemetry
+        if tel is not None and tel.sampled(op_id):
+            request = replace(
+                request,
+                trace=TraceContext(op_id=op_id, hops=((origin, issue_round, "issue"),)),
+            )
         if self.net.scheduler.post(Envelope(origin, origin, request)):
             self.collector.register(issued)
         else:
@@ -281,6 +292,7 @@ class TrafficPlane:
             return
         best: Optional[int] = None
         best_d = space.distance_cw(me, req.kid)
+        rule = "greedy"
         for cand in view:  # pre-sorted by handle()
             if space.between_open_closed(me, cand, req.kid):
                 d = space.distance_cw(cand, req.kid)
@@ -291,13 +303,19 @@ class TrafficPlane:
             # request to our closest clockwise neighbor (the believed
             # successor), who should find itself responsible
             best = min(view, key=lambda c: space.distance_cw(me, c))
+            rule = "fallback"
         if best in req.path:
             self._reply(req, ST_LOOP, me, ctx)
             return
         if req.hops + 1 > req.ttl:
             self._reply(req, ST_TTL, me, ctx)
             return
-        ctx.send(best, req.forwarded(best))
+        fwd = req.forwarded(best)
+        if req.trace is not None:
+            # record the forwarding decision this hop took (the trace
+            # rides outside payload equality: behavior is unchanged)
+            fwd = replace(fwd, trace=req.trace.extended(me, ctx.round_no, rule))
+        ctx.send(best, fwd)
 
     def _terminal(self, me: int, req: LookupRequest, ctx: RoundContext) -> None:
         """Execute the operation at the self-believed responsible peer."""
@@ -339,6 +357,11 @@ class TrafficPlane:
             owner=owner,
             hops=req.hops,
             value=value,
+            # the terminal hop closes the causal trace with its status
+            trace=(
+                req.trace.extended(owner, ctx.round_no, status)
+                if req.trace is not None else None
+            ),
         )
         if req.origin == ctx.self_key:
             # terminated at the origin itself: complete without a message

@@ -27,7 +27,7 @@ Outcome taxonomy (one per completed op):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.traffic.messages import (
@@ -68,6 +68,9 @@ class CompletedOp:
     outcome: str
     hops: Optional[int]
     value: object = None
+    #: causal hop trace of a telemetry-sampled op (None otherwise);
+    #: compare=False keeps record equality independent of tracing
+    trace: object = field(compare=False, default=None)
 
     @property
     def latency(self) -> int:
@@ -167,8 +170,20 @@ class SLOCollector:
     {'timeout': 1}
     """
 
-    def __init__(self, true_owner: Callable[[int], Optional[int]]) -> None:
+    def __init__(
+        self,
+        true_owner: Callable[[int], Optional[int]],
+        sketch_quantiles: Optional[Sequence[float]] = None,
+    ) -> None:
         self._true_owner = true_owner
+        #: opt-in streaming latency percentiles (P² sketches) for
+        #: campaigns too large for the full completion list to be the
+        #: metrics source; ``summary()`` keys are unchanged by default
+        self.sketches: Optional[Dict[float, object]] = None
+        if sketch_quantiles:
+            from repro.telemetry.sketch import P2Quantile
+
+            self.sketches = {q: P2Quantile(q) for q in sketch_quantiles}
         self.outstanding: Dict[int, IssuedOp] = {}
         self.completed: List[CompletedOp] = []
         self.outcomes: Dict[str, int] = {}
@@ -215,7 +230,9 @@ class SLOCollector:
             outcome = reply.status if reply.owner == truth else OUT_MISROUTE
         else:
             outcome = reply.status
-        self._complete(issued, round_no, outcome, reply.hops, reply.value)
+        self._complete(
+            issued, round_no, outcome, reply.hops, reply.value, trace=reply.trace
+        )
 
     def fail_unissued(self, issued: IssuedOp, round_no: int) -> None:
         """The op could not even be injected (origin not registered)."""
@@ -236,6 +253,7 @@ class SLOCollector:
         outcome: str,
         hops: Optional[int],
         value: object = None,
+        trace: object = None,
     ) -> None:
         self._answer_truth.pop(issued.op_id, None)
         record = CompletedOp(
@@ -248,7 +266,11 @@ class SLOCollector:
             outcome=outcome,
             hops=hops,
             value=value,
+            trace=trace,
         )
+        if self.sketches is not None and record.routed:
+            for sketch in self.sketches.values():
+                sketch.add(record.latency)
         self.completed.append(record)
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         key = (issued.origin, issued.kid)
@@ -263,6 +285,10 @@ class SLOCollector:
     def routed_latencies(self) -> List[int]:
         """Latencies (rounds) of successfully routed operations."""
         return [c.latency for c in self.completed if c.routed]
+
+    def traced(self) -> List[CompletedOp]:
+        """Completions carrying a causal hop trace (sampled ops)."""
+        return [c for c in self.completed if c.trace is not None]
 
     def success_rate(self) -> float:
         """Fraction of completed ops that reached the true owner."""
@@ -295,4 +321,12 @@ class SLOCollector:
         if hops:
             out["hops_mean"] = round(sum(hops) / len(hops), 2)
             out["hops_max"] = max(hops)
+        if self.sketches:
+            # opt-in streaming estimates, keyed separately so default
+            # summaries (and every baseline built on them) are unchanged
+            for q, sketch in sorted(self.sketches.items()):
+                if len(sketch):
+                    out[f"latency_p{round(q * 100)}_sketch"] = round(
+                        sketch.value(), 2
+                    )
         return out

@@ -287,3 +287,34 @@ class TestExternalMutationEquivalence:
         rb = b.run_until_stable(max_rounds=4000)
         assert ra == rb
         assert_equivalent(a, b, "after partial activation")
+
+
+class TestTelemetryCensusEquivalence:
+    """The telemetry counter census is part of the equivalence surface:
+    the same seeded run under all three kernels yields identical rule
+    firings, envelope-type counts and round/sent/dropped totals; the
+    execute/replay split agrees between the two dirty-set kernels."""
+
+    @pytest.mark.parametrize("n,seed,corrupt", STARTS[::5])
+    def test_census_invariant(self, n, seed, corrupt):
+        censuses = []
+        kernel_stats = {}
+        for engine in ("full", "incremental", "columnar"):
+            net = build_random_network(n=n, seed=seed, engine=engine)
+            if corrupt:
+                corrupt_network(net, seed + 1)
+            net.enable_telemetry()
+            net.run_until_stable(max_rounds=4000)
+            censuses.append(net.telemetry_census())
+            kernel_stats[engine] = net.telemetry.kernel_stats()
+        ctx = f"at n={n} seed={seed} corrupt={corrupt}"
+        assert censuses[0] == censuses[1] == censuses[2], f"census diverged {ctx}"
+        assert (
+            kernel_stats["incremental"] == kernel_stats["columnar"]
+        ), f"kernel split diverged {ctx}"
+
+    def test_census_rules_match_network_counters(self):
+        net = build_random_network(n=8, seed=3, engine="incremental")
+        net.enable_telemetry()
+        net.run_until_stable(max_rounds=4000)
+        assert net.telemetry_census()["rules"] == dict(net.counters().fires)
