@@ -97,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
                 choices=("full", "incremental", "columnar"),
                 help="simulation kernel (default: incremental)",
             )
+            p.add_argument(
+                "--rule-backend", type=str, default="scalar",
+                choices=("scalar", "batched"),
+                help="rule backend: per-peer scalar pipeline (the spec) "
+                "or batched phase-major sweeps (observationally identical)",
+            )
         if name == "traffic":
             p.add_argument(
                 "--telemetry", action="store_true",
@@ -129,6 +135,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(e.g. partial:p=0.5), or a JSON spec dict",
     )
     scen.add_argument(
+        "--rule-backend", type=str, default="scalar",
+        choices=("scalar", "batched"),
+        help="rule backend for the whole campaign (default: scalar); "
+        "batched runs the phase-major kernels, observationally identical",
+    )
+    scen.add_argument(
         "--telemetry", action="store_true",
         help="run the campaign with a telemetry recorder attached and "
         "append the counter census / phase-timer report",
@@ -148,6 +160,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine", type=str, default="columnar",
         choices=("full", "incremental", "columnar"),
         help="simulation kernel to instrument (default: columnar)",
+    )
+    obs.add_argument(
+        "--rule-backend", type=str, default="scalar",
+        choices=("scalar", "batched"),
+        help="rule backend to instrument (default: scalar)",
     )
     obs.add_argument(
         "--trace-sample", type=int, default=1, metavar="K",
@@ -265,7 +282,9 @@ def _run_scenario_command(args: argparse.Namespace) -> List[str]:
         from repro.telemetry import TelemetryRecorder
 
         recorder = TelemetryRecorder()
-    report = run_scenario(spec, telemetry=recorder)
+    report = run_scenario(
+        spec, telemetry=recorder, rule_backend=getattr(args, "rule_backend", "scalar")
+    )
     if args.json:
         return [_json.dumps(report.to_dict(), indent=2, sort_keys=True)]
     blocks = [_format_scenario_report(spec, report)]
@@ -335,9 +354,13 @@ def _run_observe_command(args: argparse.Namespace) -> List[str]:
     )
     spec = make_scenario(args.scenario, n=n, seed=seed)
     recorder = TelemetryRecorder(trace_sample_interval=args.trace_sample)
-    run_scenario(spec, engine=args.engine, telemetry=recorder)
+    run_scenario(
+        spec, engine=args.engine, telemetry=recorder,
+        rule_backend=getattr(args, "rule_backend", "scalar"),
+    )
     lines = [
-        f"Observe: {spec.name}  (n={n}, seed={seed}, engine={args.engine})",
+        f"Observe: {spec.name}  (n={n}, seed={seed}, engine={args.engine}, "
+        f"rules={getattr(args, 'rule_backend', 'scalar')})",
         "=" * 78,
         "",
         render_telemetry(recorder, traces=args.traces),
@@ -377,7 +400,12 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
     if cmd in ("messages", "all"):
         n = getattr(args, "n", 32)
         engine = getattr(args, "engine", None)
-        out.append(format_messages(run_messages(n=n, root_seed=rs, engine=engine)))
+        backend = getattr(args, "rule_backend", "scalar")
+        out.append(
+            format_messages(
+                run_messages(n=n, root_seed=rs, engine=engine, rule_backend=backend)
+            )
+        )
     if cmd in ("phases", "all"):
         out.append(format_phases(run_phases(_sizes(args, PHASES_SIZES), _seeds(args, 5), rs)))
     if cmd in ("economy", "all"):

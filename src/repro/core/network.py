@@ -114,6 +114,7 @@ class ReChordNetwork:
         incremental: bool = True,
         time_model: Optional[TimeModel] = None,
         engine: Optional[str] = None,
+        rule_backend: str = "scalar",
     ) -> None:
         self.space = space if space is not None else IdSpace()
         self.config = config if config is not None else RuleConfig()
@@ -137,6 +138,17 @@ class ReChordNetwork:
             self.scheduler = SynchronousScheduler(
                 self.trace, activity_tracking=self.incremental, time_model=time_model
             )
+        if rule_backend not in ("scalar", "batched"):
+            raise ValueError(f"unknown rule backend {rule_backend!r}")
+        #: selected rule backend: "scalar" (the per-peer reference
+        #: pipeline in :mod:`repro.core.protocol`, the spec) or
+        #: "batched" (phase-major sweeps over all dirty peers via
+        #: :mod:`repro.core.rules_batched`, observationally identical).
+        self.rule_backend = rule_backend
+        if rule_backend == "batched":
+            from repro.core.rules_batched import BatchedRuleEngine
+
+            self.scheduler.set_batch_stepper(BatchedRuleEngine())
         self.peers: Dict[int, ReChordPeer] = {}
         self._level_snapshot: Dict[int, frozenset] = {}
         #: incremental engine: owner ids referenced by each peer ...

@@ -142,8 +142,39 @@ class InternTable:
         return ref
 
     def ref(self, iid: int) -> NodeRef:
-        """The ref holding dense id ``iid``."""
+        """The ref holding dense id ``iid``.
+
+        Only non-negative dense ids name rows; ``-1`` is the sentinel
+        carried by direct-constructed (never-interned) refs, and Python's
+        negative indexing would silently alias it to whatever ref was
+        interned *last* — after a mass leave that is some unrelated live
+        peer.  Batched kernels read the flat columns by ``iid``, so the
+        aliasing must be an error, not a wrong answer.
+        """
+        if iid < 0:
+            raise IndexError(f"iid {iid} does not name an interned ref")
         return self._refs[iid]
+
+    def all_refs(self) -> List[NodeRef]:
+        """The live ref column in dense-id order (do not mutate).
+
+        Rows are append-only: a peer leaving the network never frees its
+        rows, so an ``iid`` observed once names the same identity
+        forever — the property the batched kernels' rank index relies
+        on.  The list object itself is the live backing store; callers
+        must treat it as read-only.
+        """
+        return self._refs
+
+    def columns(self) -> Tuple[array, array, array]:
+        """The flat ``(ids, owners, levels)`` columns (do not mutate).
+
+        Aligned with :meth:`all_refs`: row ``iid`` of each column holds
+        that ref's identifier, owner and level.  These are the arrays
+        the batched rule kernels (and numpy, via zero-copy
+        ``frombuffer``) sort and scan instead of chasing ref objects.
+        """
+        return (self.ids, self.owners, self.levels)
 
 
 #: the process-wide intern table (grows monotonically, never evicts —

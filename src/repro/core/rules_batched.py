@@ -1,0 +1,824 @@
+"""Batched rule kernels over the interned-id columns.
+
+The scalar pipeline in :mod:`repro.core.protocol` steps one peer at a
+time: apply inbox, purge, rules 1–6, traffic.  This module executes the
+same pipeline **phase-major** across every peer the scheduler decided to
+run in a round: one pass applies all inboxes, one pass purges all
+peers, one pass runs rule 3 everywhere, and so on.  The reordering is
+behaviorally invisible because within a round
+
+* a peer's rules read and mutate *only its own* ``PeerState`` (direct
+  assignments are peer-local; delayed assignments travel as messages),
+* every send is buffered in the peer's round outbox and delivered only
+  at the round boundary, and
+* the liveness oracle answers from the network's frozen round-start
+  snapshot, so purge verdicts cannot observe another peer's progress.
+
+So per-peer phase results are identical to the scalar interleaving, and
+per-peer outbox *order* is preserved too (each phase appends to the same
+peer outbox in the same relative order the scalar pipeline would).
+
+What the batching buys
+----------------------
+
+* **One rank index per round** — :class:`RankIndex` lexsorts the intern
+  table's flat ``(ids, owners, levels)`` columns (numpy ``lexsort`` when
+  available, a pure-Python argsort otherwise) into a global rank per
+  interned ref.  Ranks are a strict-total-order isomorphism of
+  ``NodeRef._key`` (the key is a bijection of the interned triple), so
+  every neighbor-set sort in rules 3/4/5/6 becomes an integer sort
+  instead of a tuple-key sort.  Ranks are used for *ordering only*;
+  equality guards (``y == rl`` etc.) stay real ``NodeRef`` comparisons,
+  which deliberately ignore the id component.
+* **A shared purge-verdict memo** — liveness verdicts are pure in the
+  ref given the frozen snapshot, so one memo serves the whole batch
+  instead of one per peer.
+* **An integer-keyed envelope cache** — the stable state re-emits the
+  same small set of envelopes every round; the batched send path looks
+  them up by flat ``(owner, level)`` integers without constructing the
+  payload at all.  Misses are routed through the scheduler's canonical
+  envelope cache so instances (and their fingerprint memos) coincide
+  with the scalar path's.
+* **Bulk-set delivery** — the apply-inbox phase groups a peer's
+  ``EdgeAdd`` envelopes by ``(level, kind)`` and lands each group with
+  one C-level ``set.update`` (self-edges removed by one ``discard``)
+  instead of dispatching per envelope.  Set *content* is all any
+  downstream consumer observes (every order-sensitive reader sorts
+  first), and the ``version`` counter is only ever compared for
+  equality, so coalesced bumping is invisible.  Candidate messages
+  keep their relative order; they commute with edge-adds (adoption
+  reads pointer slots, edge-adds write only the neighbor sets).  A
+  peer whose apply was a proven no-op (identical canonical state +
+  element-equal inbox, cached from a mutation-free, bump-free run)
+  skips the phase entirely.
+* **C-speed purge screening** — a per-batch ``ok`` set of refs already
+  judged alive turns the common per-set scan into one hash-based
+  ``issuperset`` call, and a single ``nref in refs`` containment check
+  replaces the per-ref self-edge comparison; only sets that might
+  actually purge fall back to the scalar loop.
+* **Predecessor scans in rule 6** — with the typical one or two
+  connection edges per level, the closest-known-predecessor is found
+  by a linear key scan over ``nu`` and the sibling chain instead of
+  materializing and sorting the full candidate list.
+
+Contract
+--------
+
+Observationally identical to the scalar backend: fingerprints, emitted
+envelope sequences, rule counters, replay deltas and telemetry censuses
+match bit for bit (``tests/test_rules_batched.py`` and the equivalence
+matrix enforce this).  The scalar pipeline remains the executable spec;
+when in doubt, this module mirrors :mod:`repro.core.protocol` line by
+line.  Refs that were never interned (``iid == -1``, hand-built
+adversarial states) demote the affected sort to the scalar key sort —
+never to a wrong answer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from operator import attrgetter
+from time import perf_counter as _perf
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.events import (
+    KIND_CONNECTION,
+    KIND_RING,
+    KIND_UNMARKED,
+    EdgeAdd,
+    RealCandidate,
+    SIDE_LEFT,
+    SIDE_RIGHT,
+)
+from repro.core.noderef import INTERN, NodeRef
+from repro.core.protocol import REF_OK, REF_PHANTOM, ReChordPeer
+from repro.netsim.messages import AppPayload, Envelope
+
+try:  # optional accelerator; the pure-array path below is the fallback
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy absent in minimal installs
+    _np = None
+
+_KEY = attrgetter("_key")
+
+#: clear-on-overflow bound, mirroring the scheduler's envelope cache
+_FAST_CACHE_MAX = 4_000_000
+
+#: below this interned-table size the numpy lexsort loses to the
+#: pure-Python argsort (crossover measured around a few thousand rows)
+_NUMPY_MIN_ROWS = 2048
+
+
+class RankIndex:
+    """Global linear rank of every interned ref, by ``NodeRef._key``.
+
+    Built from the intern table's flat columns: ``lexsort`` orders rows
+    by ``(id, is_virtual, owner, level)`` — exactly the scalar sort key
+    — and the inverse permutation is the rank.  The table is
+    append-only, but appending *changes existing ranks* (a new row can
+    land anywhere in the order), so consumers refresh at phase
+    boundaries and treat a row id at or beyond the indexed size as
+    unranked.
+    """
+
+    __slots__ = ("ranks", "size", "_use_numpy")
+
+    def __init__(self, use_numpy: Optional[bool] = None) -> None:
+        self.ranks: List[int] = []
+        self.size = 0
+        self._use_numpy = _np is not None if use_numpy is None else (
+            bool(use_numpy) and _np is not None
+        )
+
+    def refresh(self) -> None:
+        """Re-rank if the intern table grew since the last build."""
+        n = len(INTERN)
+        if n == self.size:
+            return
+        if self._use_numpy and n >= _NUMPY_MIN_ROWS:
+            ids_col, owners_col, levels_col = INTERN.columns()
+            ids = _np.frombuffer(ids_col, dtype=_np.uint64, count=n)
+            owners = _np.frombuffer(owners_col, dtype=_np.uint64, count=n)
+            levels = _np.frombuffer(levels_col, dtype=_np.intc, count=n)
+            # last lexsort key is the primary one: (id, isv, owner, level)
+            perm = _np.lexsort((levels, owners, levels != 0, ids))
+            ranks = _np.empty(n, dtype=_np.int64)
+            ranks[perm] = _np.arange(n, dtype=_np.int64)
+            # a plain list keeps the per-ref lookups in the rule loops at
+            # native list-index speed (ndarray item access boxes per hit)
+            self.ranks = ranks.tolist()
+        else:
+            refs = INTERN.all_refs()
+            order = sorted(range(n), key=lambda i: refs[i]._key)
+            ranks = [0] * n
+            for pos, iid in enumerate(order):
+                ranks[iid] = pos
+            self.ranks = ranks
+        self.size = n
+
+
+class BatchedRuleEngine:
+    """Phase-major executor for a round's batch of dirty ReChord peers.
+
+    Installed on a scheduler via ``set_batch_stepper``; the kernels hand
+    it the full list of ``(key, actor, inbox, ctx)`` step items (in key
+    order) instead of calling ``actor.step`` one by one.  Non-ReChord
+    actors in the batch fall back to their own ``step``.
+    """
+
+    __slots__ = ("rank_index", "_fast")
+
+    def __init__(self, use_numpy: Optional[bool] = None) -> None:
+        self.rank_index = RankIndex(use_numpy)
+        #: envelope cache keyed by flat ints; values are the same
+        #: instances the scheduler's canonical cache holds
+        self._fast: Dict[tuple, Envelope] = {}
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run_batch(self, items: Sequence[tuple]) -> None:
+        """Execute one round's steps phase-major.
+
+        ``items`` is ``[(key, actor, inbox, ctx), ...]`` in scheduler
+        key order; every actor's observable effects (state, outbox,
+        counters, replay delta) end up exactly as if ``actor.step(inbox,
+        ctx)`` had been called in that order.
+        """
+        peers: List[list] = []
+        tel = None
+        for key, actor, inbox, ctx in items:
+            if not isinstance(actor, ReChordPeer):
+                actor.step(inbox, ctx)
+                continue
+            if actor.telemetry is not None:
+                tel = actor.telemetry
+            fires_before = dict(actor.counters.fires)
+            app: Optional[List] = None
+            if actor.traffic is not None:
+                app = [e.payload for e in inbox if isinstance(e.payload, AppPayload)]
+                if app:
+                    inbox = [e for e in inbox if not isinstance(e.payload, AppPayload)]
+            peers.append([actor, inbox, ctx, app, fires_before])
+        if not peers:
+            return
+        self.rank_index.refresh()
+        if tel is None:
+            self._pipeline(peers)
+        else:
+            self._pipeline_timed(peers, tel)
+        for actor, _inbox, _ctx, _app, fires_before in peers:
+            fires = actor.counters.fires
+            actor._replay_delta = {
+                rule: count - fires_before.get(rule, 0)
+                for rule, count in fires.items()
+                if count != fires_before.get(rule, 0)
+            }
+
+    def _pipeline(self, peers: List[list]) -> None:
+        self._phase_apply_inbox(peers)
+        self._phase_purge(peers)
+        for actor, _i, _c, _a, _f in peers:
+            if actor.config.virtual_nodes:
+                actor._rule1_virtual_nodes()
+        for actor, _i, _c, _a, _f in peers:
+            if actor.config.overlap:
+                actor._rule2_overlap()
+        # rule 1 mints refs for freshly created levels: re-rank once so
+        # the sort phases below see them (cheap no-op when nothing grew)
+        self.rank_index.refresh()
+        self._phase_rule3(peers)
+        self._phase_rule4(peers)
+        self._phase_rule5(peers)
+        self._phase_rule6(peers)
+        for actor, _inbox, ctx, app, _f in peers:
+            if app:
+                ctx.reexecute_next_round()
+                actor.traffic.handle(actor, app, ctx)
+
+    def _pipeline_timed(self, peers: List[list], tel) -> None:
+        """The pipeline with per-phase wall-clock spans.
+
+        Phase labels match the scalar ``_step_timed`` ones so telemetry
+        reports stay comparable; spans cover the whole batch (one call
+        per phase) rather than one per peer.
+        """
+        add = tel.add_time
+        t = _perf()
+        self._phase_apply_inbox(peers)
+        t2 = _perf(); add("peer.apply_inbox", t2 - t); t = t2
+        self._phase_purge(peers)
+        t2 = _perf(); add("rule.purge", t2 - t); t = t2
+        for actor, _i, _c, _a, _f in peers:
+            if actor.config.virtual_nodes:
+                actor._rule1_virtual_nodes()
+        t2 = _perf(); add("rule.1_virtual_nodes", t2 - t); t = t2
+        for actor, _i, _c, _a, _f in peers:
+            if actor.config.overlap:
+                actor._rule2_overlap()
+        t2 = _perf(); add("rule.2_overlap", t2 - t); t = t2
+        self.rank_index.refresh()
+        self._phase_rule3(peers)
+        t2 = _perf(); add("rule.3_closest_real", t2 - t); t = t2
+        self._phase_rule4(peers)
+        t2 = _perf(); add("rule.4_linearize", t2 - t); t = t2
+        self._phase_rule5(peers)
+        t2 = _perf(); add("rule.5_ring", t2 - t); t = t2
+        self._phase_rule6(peers)
+        t2 = _perf(); add("rule.6_connection", t2 - t); t = t2
+        traffic_ran = False
+        for actor, _inbox, ctx, app, _f in peers:
+            if app:
+                ctx.reexecute_next_round()
+                actor.traffic.handle(actor, app, ctx)
+                traffic_ran = True
+        if traffic_ran:
+            add("peer.traffic", _perf() - t)
+
+    # ------------------------------------------------------------------
+    # sorting over the rank column
+    # ------------------------------------------------------------------
+    def _sorted_refs(self, refs) -> List[NodeRef]:
+        """``sorted(refs, key=_KEY)`` via the global rank column.
+
+        Ranks order exactly like keys for interned refs; a never-interned
+        ref (or one minted after the last refresh) demotes the call to
+        the scalar key sort.
+        """
+        n = len(refs)
+        if n < 2:
+            return list(refs)
+        if n == 2:
+            a, b = refs
+            return [a, b] if a._key <= b._key else [b, a]
+        ranks = self.rank_index.ranks
+        size = self.rank_index.size
+        pairs = []
+        for r in refs:
+            iid = r.iid
+            if 0 <= iid < size:
+                pairs.append((ranks[iid], r))
+            else:
+                return sorted(refs, key=_KEY)
+        pairs.sort()
+        return [r for _rank, r in pairs]
+
+    # ------------------------------------------------------------------
+    # fast envelope construction
+    # ------------------------------------------------------------------
+    def _send_edge(self, ctx, outbox, target: NodeRef, endpoint: NodeRef, kind: str) -> None:
+        """``ctx.send(target.owner, EdgeAdd(target, endpoint, kind))``.
+
+        The cache key is the interned row ids of both refs — a short
+        int tuple that hashes far cheaper than the refs themselves — so
+        repeated stable-flow emissions skip both payload construction
+        and the scheduler cache's tuple hashing.  Misses go through
+        ``ctx.send`` so the instance is the canonical one; never-interned
+        refs (``iid == -1`` is not unique) always take that path.
+        """
+        ti = target.iid
+        ei = endpoint.iid
+        if ti < 0 or ei < 0:
+            ctx.send(target.owner, EdgeAdd(target, endpoint, kind))
+            return
+        fast = self._fast
+        key = (ctx.self_key, ti, ei, kind)
+        env = fast.get(key)
+        if env is None:
+            ctx.send(target.owner, EdgeAdd(target, endpoint, kind))
+            if len(fast) >= _FAST_CACHE_MAX:
+                fast.clear()
+            fast[key] = ctx._outbox[-1]
+        else:
+            outbox.append(env)
+
+    def _send_cand(
+        self, ctx, outbox, target: NodeRef, cand: NodeRef, side: str, wrap: bool = False
+    ) -> None:
+        """``ctx.send(target.owner, RealCandidate(target, cand, side, wrap))``."""
+        ti = target.iid
+        ci = cand.iid
+        if ti < 0 or ci < 0:
+            ctx.send(target.owner, RealCandidate(target, cand, side, wrap))
+            return
+        fast = self._fast
+        key = (ctx.self_key, ti, ci, side, wrap)
+        env = fast.get(key)
+        if env is None:
+            ctx.send(target.owner, RealCandidate(target, cand, side, wrap))
+            if len(fast) >= _FAST_CACHE_MAX:
+                fast.clear()
+            fast[key] = ctx._outbox[-1]
+        else:
+            outbox.append(env)
+
+    # ------------------------------------------------------------------
+    # phase: delayed-assignment delivery
+    # ------------------------------------------------------------------
+    def _phase_apply_inbox(self, peers: List[list]) -> None:
+        # the scalar _apply_inbox with delivery coalesced: EdgeAdds are
+        # grouped per (level, kind) and landed with one bulk set.update
+        # (edge-adds write only the neighbor sets, candidate adoption
+        # reads only the pointer slots, so the two commute; candidates
+        # keep their relative order among themselves)
+        for it in peers:
+            actor, inbox = it[0], it[1]
+            state = actor.state
+            skip = actor._inbox_skip
+            if skip is not None and skip[1] == inbox:
+                canon = state.canonical()
+                canon0 = skip[0]
+                if canon0 is canon or canon0 == canon:
+                    # proven no-op: the cached apply of this exact inbox
+                    # on this exact state mutated nothing, bumped nothing
+                    actor._inbox_skip = (canon, inbox)
+                    continue
+            ver0 = state.version
+            nodes = state.nodes
+            peer_id = state.peer_id
+            deliver_candidate = actor._deliver_candidate
+            groups: Dict[tuple, list] = {}
+            setdefault = groups.setdefault
+            for env in inbox:
+                payload = env.payload
+                cls = type(payload)
+                if cls is EdgeAdd:
+                    target = payload.target
+                    if target.owner != peer_id:
+                        raise LookupError(
+                            f"message for {target!r} delivered to peer {peer_id}"
+                        )
+                    setdefault((target.level, payload.kind), []).append(
+                        payload.endpoint
+                    )
+                elif cls is RealCandidate:
+                    deliver_candidate(payload)
+                else:
+                    # NeighborIntro / no-plane AppPayload / unknown: rare
+                    # paths — defer to the scalar handler (same errors)
+                    actor._apply_inbox([env])
+            for (level, kind), endpoints in groups.items():
+                node = nodes.get(level)
+                if node is None:
+                    node = nodes[max(nodes)]
+                if kind == KIND_UNMARKED:
+                    refs = node._nu
+                elif kind == KIND_RING:
+                    refs = node._nr
+                elif kind == KIND_CONNECTION:
+                    refs = node._nc
+                else:  # pragma: no cover - protocol violation
+                    raise ValueError(f"unknown edge kind {kind!r}")
+                add = set(endpoints)
+                add.discard(node.ref)  # self-edge sanitation [D10]
+                if add:
+                    refs.update(add)
+            if state.version == ver0 and actor.counters.fires == it[4]:
+                actor._inbox_skip = (state.canonical(), inbox)
+            else:
+                actor._inbox_skip = None
+
+    # ------------------------------------------------------------------
+    # phase: purge [D7]/[D11]
+    # ------------------------------------------------------------------
+    def _phase_purge(self, peers: List[list]) -> None:
+        # one verdict memo for the whole batch: all peers of a network
+        # share the same oracle, and a verdict is a pure function of the
+        # ref given the frozen round-start snapshot.  ``ok`` holds every
+        # ref already judged alive; a set whose members are all in it
+        # (and which does not contain a self-ref) provably purges
+        # nothing, and both checks run at C speed.
+        verdicts: Dict[NodeRef, str] = {}
+        ok: set = set()
+        for it in peers:
+            actor = it[0]
+            alive = actor._ref_alive
+            counters = actor.counters
+            state = actor.state
+            for level in sorted(state.nodes):
+                node = state.nodes[level]
+                nref = node.ref
+                for refs in (node._nu, node._nr, node._nc):
+                    if nref not in refs and ok.issuperset(refs):
+                        continue
+                    bad: Optional[List[NodeRef]] = None
+                    for r in refs:
+                        if r == nref:
+                            if bad is None:
+                                bad = []
+                            bad.append(r)
+                            continue
+                        v = verdicts.get(r)
+                        if v is None:
+                            v = verdicts[r] = alive(r)
+                            if v == REF_OK:
+                                ok.add(r)
+                        if v != REF_OK:
+                            if bad is None:
+                                bad = []
+                            bad.append(r)
+                    if bad is None:
+                        continue
+                    for ref in bad:
+                        refs.discard(ref)
+                        if ref == nref:
+                            continue
+                        if verdicts[ref] == REF_PHANTOM:
+                            real = NodeRef.real(ref.owner)
+                            if real != nref:
+                                refs.add(real)
+                            counters.bump("purge_phantom")
+                        else:
+                            counters.bump("purge_dead")
+                for attr, ref in (
+                    ("rl", node._rl),
+                    ("rr", node._rr),
+                    ("wrap_rl", node._wrap_rl),
+                    ("wrap_rr", node._wrap_rr),
+                ):
+                    if ref is None:
+                        continue
+                    if ref.level != 0 or ref == nref:
+                        setattr(node, attr, None)
+                        counters.bump("purge_slot")
+                        continue
+                    v = verdicts.get(ref)
+                    if v is None:
+                        v = verdicts[ref] = alive(ref)
+                    if v != REF_OK:
+                        setattr(node, attr, None)
+                        counters.bump("purge_slot")
+                nk = nref._key
+                rl = node._rl
+                if rl is not None and rl._key >= nk:
+                    node.rl = None
+                rr = node._rr
+                if rr is not None and rr._key <= nk:
+                    node.rr = None
+
+    # ------------------------------------------------------------------
+    # phase: rule 3 — closest real neighbor
+    # ------------------------------------------------------------------
+    def _phase_rule3(self, peers: List[list]) -> None:
+        for it in peers:
+            actor, ctx = it[0], it[2]
+            cfg = actor.config
+            if not cfg.closest_real:
+                continue
+            state = actor.state
+            outbox = ctx._outbox
+            wrap = cfg.wrap_pointers
+            eco = cfg.economical_broadcast
+            reals = self._sorted_refs(
+                [r for r in state.knowledge() if r.level == 0]
+            )
+            real_keys = [r._key for r in reals]
+            nreals = len(reals)
+            for level in sorted(state.nodes):
+                node = state.nodes[level]
+                ui = node.ref
+                uik = ui._key
+                idx = bisect_left(real_keys, uik)
+                rl = reals[idx - 1] if idx > 0 else None
+                if idx < nreals and reals[idx] == ui:
+                    rr = reals[idx + 1] if idx + 1 < nreals else None
+                else:
+                    rr = reals[idx] if idx < nreals else None
+                node.rl, node.rr = rl, rr
+                if rl is not None:
+                    node._nu.add(rl)
+                if rr is not None:
+                    node._nu.add(rr)
+                if wrap:
+                    actor._maintain_wrap_slots(node)
+                nu_sorted = self._sorted_refs(node._nu)
+                if rl is not None:
+                    rlk = rl._key
+                    recipients = []
+                    for y in nu_sorted:
+                        if y == rl:
+                            continue
+                        yk = y._key
+                        if yk > uik or rlk < yk < uik:
+                            recipients.append(y)
+                    for y in recipients:
+                        if eco and rl == node.bcast_rl and (
+                            node.bcast_rl_targets is not None
+                            and y in node.bcast_rl_targets
+                        ):
+                            continue
+                        self._send_cand(ctx, outbox, y, rl, SIDE_LEFT)
+                    if eco:
+                        node.bcast_rl = rl
+                        node.bcast_rl_targets = frozenset(recipients)
+                elif eco:
+                    node.bcast_rl = None
+                    node.bcast_rl_targets = None
+                if rr is not None:
+                    rrk = rr._key
+                    recipients = []
+                    for y in nu_sorted:
+                        if y == rr:
+                            continue
+                        yk = y._key
+                        if yk < uik or uik < yk < rrk:
+                            recipients.append(y)
+                    for y in recipients:
+                        if eco and rr == node.bcast_rr and (
+                            node.bcast_rr_targets is not None
+                            and y in node.bcast_rr_targets
+                        ):
+                            continue
+                        self._send_cand(ctx, outbox, y, rr, SIDE_RIGHT)
+                    if eco:
+                        node.bcast_rr = rr
+                        node.bcast_rr_targets = frozenset(recipients)
+                elif eco:
+                    node.bcast_rr = None
+                    node.bcast_rr_targets = None
+                if wrap:
+                    self._relay_wrap(node, ctx, outbox)
+
+    def _relay_wrap(self, node, ctx, outbox) -> None:
+        """Scalar ``_relay_wrap`` on the fast send path."""
+        ui = node.ref
+        if node.rr is None and node.wrap_rr is not None:
+            lefts = [w for w in node.nu if w < ui]
+            targets = set()
+            if lefts:
+                targets.add(max(lefts))
+            if node.rl is not None:
+                targets.add(node.rl)
+            for t in sorted(targets):
+                self._send_cand(ctx, outbox, t, node.wrap_rr, SIDE_RIGHT, wrap=True)
+        if node.rl is None and node.wrap_rl is not None:
+            rights = [w for w in node.nu if w > ui]
+            targets = set()
+            if rights:
+                targets.add(min(rights))
+            if node.rr is not None:
+                targets.add(node.rr)
+            for t in sorted(targets):
+                self._send_cand(ctx, outbox, t, node.wrap_rl, SIDE_LEFT, wrap=True)
+
+    # ------------------------------------------------------------------
+    # phase: rule 4 — linearization + mirroring
+    # ------------------------------------------------------------------
+    def _phase_rule4(self, peers: List[list]) -> None:
+        send_edge = self._send_edge
+        for it in peers:
+            actor, ctx = it[0], it[2]
+            if not actor.config.linearize:
+                continue
+            state = actor.state
+            outbox = ctx._outbox
+            forwards = 0
+            for level in sorted(state.nodes):
+                node = state.nodes[level]
+                ui = node.ref
+                uik = ui._key
+                nu = node._nu
+                # one sort, split at ui — the scalar code sorts the left
+                # and right halves separately
+                snu = self._sorted_refs(nu)
+                lefts: List[NodeRef] = []
+                rights: List[NodeRef] = []
+                for w in snu:
+                    wk = w._key
+                    if wk < uik:
+                        lefts.append(w)
+                    elif wk > uik:
+                        rights.append(w)
+                # forward pairs, closest-first (scalar iterates lefts in
+                # descending order)
+                for j in range(len(lefts) - 1, 0, -1):
+                    a = lefts[j]
+                    b = lefts[j - 1]
+                    send_edge(ctx, outbox, a, b, KIND_UNMARKED)
+                    nu.discard(b)
+                    forwards += 1
+                for j in range(len(rights) - 1):
+                    a = rights[j]
+                    b = rights[j + 1]
+                    send_edge(ctx, outbox, a, b, KIND_UNMARKED)
+                    nu.discard(b)
+                    forwards += 1
+                # mirroring over whatever remains in nu (the two closest
+                # neighbors, plus pathological equal-to-ui refs — match
+                # the scalar re-scan exactly rather than assuming)
+                for v in self._sorted_refs(nu):
+                    send_edge(ctx, outbox, v, ui, KIND_UNMARKED)
+                if node._rl is not None:
+                    nu.add(node._rl)
+                if node._rr is not None:
+                    nu.add(node._rr)
+            if forwards:
+                actor.counters.bump("rule4_forward", forwards)
+
+    # ------------------------------------------------------------------
+    # phase: rule 5 — ring edges
+    # ------------------------------------------------------------------
+    def _phase_rule5(self, peers: List[list]) -> None:
+        send_edge = self._send_edge
+        for it in peers:
+            actor, ctx = it[0], it[2]
+            cfg = actor.config
+            if not cfg.ring:
+                continue
+            state = actor.state
+            outbox = ctx._outbox
+            counters = actor.counters
+            wrap = cfg.wrap_pointers
+            knowledge = state.knowledge()
+            kmin = min(knowledge, key=_KEY)
+            kmax = max(knowledge, key=_KEY)
+            reals = state.known_reals(knowledge)
+            for level in sorted(state.nodes):
+                node = state.nodes[level]
+                ui = node.ref
+                uik = ui._key
+                has_left = has_right = False
+                for w in node._nu:
+                    wk = w._key
+                    if wk < uik:
+                        has_left = True
+                    elif wk > uik:
+                        has_right = True
+                if not has_left and kmax != ui:
+                    send_edge(ctx, outbox, kmax, ui, KIND_RING)
+                    counters.bump("rule5_create")
+                if not has_right and kmin != ui:
+                    send_edge(ctx, outbox, kmin, ui, KIND_RING)
+                    counters.bump("rule5_create")
+                nr = node._nr
+                if not nr:
+                    continue
+                for w in self._sorted_refs(nr):
+                    if w == ui:
+                        nr.discard(w)
+                        continue
+                    wk = w._key
+                    if wk > uik:
+                        x = kmax
+                        xk = x._key
+                        for y in nr:
+                            yk = y._key
+                            if yk > xk:
+                                x = y
+                                xk = yk
+                        if xk > wk:
+                            send_edge(ctx, outbox, x, w, KIND_UNMARKED)
+                            nr.discard(w)
+                            counters.bump("rule5_convert")
+                        elif kmin != ui:
+                            send_edge(ctx, outbox, kmin, w, KIND_RING)
+                            nr.discard(w)
+                            counters.bump("rule5_forward")
+                        else:
+                            if wrap and reals:
+                                self._send_cand(
+                                    ctx, outbox, w, reals[0], SIDE_RIGHT, wrap=True
+                                )
+                    else:
+                        x = kmin
+                        xk = x._key
+                        for y in nr:
+                            yk = y._key
+                            if yk < xk:
+                                x = y
+                                xk = yk
+                        if xk < wk:
+                            send_edge(ctx, outbox, x, w, KIND_UNMARKED)
+                            nr.discard(w)
+                            counters.bump("rule5_convert")
+                        elif kmax != ui:
+                            send_edge(ctx, outbox, kmax, w, KIND_RING)
+                            nr.discard(w)
+                            counters.bump("rule5_forward")
+                        else:
+                            if wrap and reals:
+                                self._send_cand(
+                                    ctx, outbox, w, reals[-1], SIDE_LEFT, wrap=True
+                                )
+
+    # ------------------------------------------------------------------
+    # phase: rule 6 — connection edges
+    # ------------------------------------------------------------------
+    def _phase_rule6(self, peers: List[list]) -> None:
+        send_edge = self._send_edge
+        for it in peers:
+            actor, ctx = it[0], it[2]
+            if not actor.config.connection:
+                continue
+            state = actor.state
+            outbox = ctx._outbox
+            nodes = state.nodes
+            # the sibling chain only depends on the level set (virtual
+            # ids are deterministic per level), so the sorted chain is
+            # memoized per peer against the level-key tuple
+            levels_key = tuple(nodes)
+            cached = actor._batched_sibs
+            if cached is not None and cached[0] == levels_key:
+                sibs = cached[1]
+            else:
+                sibs = self._sorted_refs([n.ref for n in nodes.values()])
+                actor._batched_sibs = (levels_key, sibs)
+            for a, b in zip(sibs, sibs[1:]):
+                nodes[a.level].nc.add(b)
+            forward = backward = 0
+            for level in sorted(nodes):
+                node = nodes[level]
+                nc = node._nc
+                if not nc:
+                    continue
+                ui = node.ref
+                if len(nc) <= 4:
+                    # few connection edges (typically just the sibling
+                    # chain): find each closest known predecessor by a
+                    # linear key scan instead of sorting nu + sibs
+                    for v in self._sorted_refs(nc):
+                        if v == ui:
+                            nc.discard(v)
+                            continue
+                        vk = v._key
+                        w = None
+                        wk = None
+                        for c in node._nu:
+                            ck = c._key
+                            if ck < vk and (wk is None or ck > wk):
+                                w = c
+                                wk = ck
+                        for c in sibs:
+                            ck = c._key
+                            if ck < vk and (wk is None or ck > wk):
+                                w = c
+                                wk = ck
+                        if w is None or w == ui:
+                            send_edge(ctx, outbox, v, ui, KIND_UNMARKED)
+                            nc.discard(v)
+                            backward += 1
+                        else:
+                            send_edge(ctx, outbox, w, v, KIND_CONNECTION)
+                            nc.discard(v)
+                            forward += 1
+                    continue
+                cands = self._sorted_refs([*node._nu, *sibs])
+                cand_keys = [c._key for c in cands]
+                for v in self._sorted_refs(nc):
+                    if v == ui:
+                        nc.discard(v)
+                        continue
+                    idx = bisect_left(cand_keys, v._key)
+                    w = cands[idx - 1] if idx > 0 else None
+                    if w is None or w == ui:
+                        send_edge(ctx, outbox, v, ui, KIND_UNMARKED)
+                        nc.discard(v)
+                        backward += 1
+                    else:
+                        send_edge(ctx, outbox, w, v, KIND_CONNECTION)
+                        nc.discard(v)
+                        forward += 1
+            if forward:
+                actor.counters.bump("rule6_forward", forward)
+            if backward:
+                actor.counters.bump("rule6_backward", backward)

@@ -51,7 +51,7 @@ from __future__ import annotations
 from bisect import insort
 from collections import Counter
 from time import perf_counter as _perf
-from typing import Callable, Dict, Hashable, List, Optional, Set
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.netsim.messages import (
     HASH_MASK as _MASK,
@@ -567,6 +567,69 @@ class ColumnarScheduler(SynchronousScheduler):
             self._inboxes[key] = []
         return inbox
 
+    def _columnar_post_step(
+        self,
+        key: Hashable,
+        out: List[Envelope],
+        changed_keys: Set[Hashable],
+        newly_dirty: Set[Hashable],
+    ) -> Tuple[bool, bool]:
+        """Probe + outbox-diff bookkeeping after one actor's step.
+
+        Factored out of pass 1 so the batched backend can defer it until
+        after ``run_batch``; returns ``(state_changed, flow_changed)``.
+        """
+        probes = self._probes.get(key)
+        if probes is None or probes[0] is None:
+            state_changed = True
+            newly_dirty.add(key)
+        else:
+            state_changed = self._probe_refresh(key, probes)
+        if state_changed:
+            changed_keys.add(key)
+            newly_dirty.add(key)
+        flow_changed = False
+        prev_out = self._out.get(key)
+        if prev_out != out:
+            flow_changed = True
+            prev_by: Dict[Hashable, List[Envelope]] = {}
+            for env in prev_out or ():
+                prev_by.setdefault(env.target, []).append(env)
+            new_by: Dict[Hashable, List[Envelope]] = {}
+            for env in out:
+                new_by.setdefault(env.target, []).append(env)
+            # the per-target diff: only these sub-flows need surgery
+            # at the delivery point — unchanged targets keep their
+            # (value-equal) indexed envelopes untouched
+            changed: List[Hashable] = []
+            for target, sub in new_by.items():
+                if prev_by.get(target) != sub:
+                    newly_dirty.add(target)
+                    changed.append(target)
+            for target in prev_by:
+                if target not in new_by:
+                    newly_dirty.add(target)
+                    changed.append(target)
+            h = self._out_hash.get(key, 0)
+            for target in changed:
+                for env in new_by.get(target, ()):
+                    h = (h + _envelope_hash(env)) & _MASK
+                for env in prev_by.get(target, ()):
+                    h = (h - _envelope_hash(env)) & _MASK
+            if key not in self._patched:
+                self._patched[key] = (prev_out, out, changed, prev_by, new_by)
+            self._out[key] = out
+            self._out_hash[key] = h
+        if key not in self._actors:
+            # it removed itself during its own step; the parent still
+            # delivers THIS step's emissions, so fix the removal
+            # record captured mid-step
+            for record in reversed(self._removed_mid):
+                if record[0] == key:
+                    record[2] = list(out)
+                    break
+        return state_changed, flow_changed
+
     def _run_round_columnar(self) -> None:
         round_no = self._round
         tel = self._telemetry
@@ -590,6 +653,8 @@ class ColumnarScheduler(SynchronousScheduler):
         self._in_round = True
 
         # ---- pass 1: materialize + execute the dirty set ---------------
+        stepper = self._batch_stepper
+        batch: Optional[List[tuple]] = [] if stepper is not None else None
         index = 0
         while index < len(self._work):
             key = self._work[index]
@@ -604,7 +669,14 @@ class ColumnarScheduler(SynchronousScheduler):
                 self._settle_actor(key, round_no - 1)
                 self._settled[key] = round_no
                 ctx = RoundContext(round_no, key, self)
-                actor.step(inbox, ctx)
+                if batch is None:
+                    actor.step(inbox, ctx)
+                else:
+                    # probe/diff bookkeeping deferred past run_batch;
+                    # materializations commute (no mid-round posts under
+                    # the batched-backend contract)
+                    batch.append((key, actor, inbox, ctx))
+                    continue
             else:
                 _t0 = _perf()
                 inbox = self._materialize_inbox(key)
@@ -612,71 +684,21 @@ class ColumnarScheduler(SynchronousScheduler):
                 self._settle_actor(key, round_no - 1)
                 self._settled[key] = round_no
                 ctx = RoundContext(round_no, key, self)
+                if batch is not None:
+                    batch.append((key, actor, inbox, ctx))
+                    continue
                 _t0 = _perf()
                 actor.step(inbox, ctx)
                 tel.add_time("kernel.execute", _perf() - _t0)
-            out = ctx._outbox
-            probes = self._probes.get(key)
-            ver_fn = probes[0] if probes else None
-            if ver_fn is None:
-                state_changed = True
-                newly_dirty.add(key)
-            else:
-                state_changed = False
-                version = ver_fn()
-                if version != self._ver.get(key):
-                    self._ver[key] = version
-                    tok = probes[1]()
-                    if tok != self._tok.get(key):
-                        self._tok[key] = tok
-                        old_h = self._tok_hash.get(key, 0)
-                        h = hash(tok) & _MASK
-                        self._tok_hash[key] = h
-                        self._state_hash = (self._state_hash - old_h + h) & _MASK
-                        state_changed = True
-            if state_changed:
-                state_changed_any = True
-                changed_keys.add(key)
-                newly_dirty.add(key)
-            prev_out = self._out.get(key)
-            if prev_out != out:
-                flow_changed = True
-                prev_by: Dict[Hashable, List[Envelope]] = {}
-                for env in prev_out or ():
-                    prev_by.setdefault(env.target, []).append(env)
-                new_by: Dict[Hashable, List[Envelope]] = {}
-                for env in out:
-                    new_by.setdefault(env.target, []).append(env)
-                # the per-target diff: only these sub-flows need surgery
-                # at the delivery point — unchanged targets keep their
-                # (value-equal) indexed envelopes untouched
-                changed: List[Hashable] = []
-                for target, sub in new_by.items():
-                    if prev_by.get(target) != sub:
-                        newly_dirty.add(target)
-                        changed.append(target)
-                for target in prev_by:
-                    if target not in new_by:
-                        newly_dirty.add(target)
-                        changed.append(target)
-                h = self._out_hash.get(key, 0)
-                for target in changed:
-                    for env in new_by.get(target, ()):
-                        h = (h + _envelope_hash(env)) & _MASK
-                    for env in prev_by.get(target, ()):
-                        h = (h - _envelope_hash(env)) & _MASK
-                if key not in self._patched:
-                    self._patched[key] = (prev_out, out, changed, prev_by, new_by)
-                self._out[key] = out
-                self._out_hash[key] = h
-            if key not in self._actors:
-                # it removed itself during its own step; the parent still
-                # delivers THIS step's emissions, so fix the removal
-                # record captured mid-step
-                for record in reversed(self._removed_mid):
-                    if record[0] == key:
-                        record[2] = list(out)
-                        break
+            sc, fc = self._columnar_post_step(key, ctx._outbox, changed_keys, newly_dirty)
+            state_changed_any |= sc
+            flow_changed |= fc
+        if batch:
+            stepper.run_batch(batch)
+            for key, _actor, _inbox, ctx in batch:
+                sc, fc = self._columnar_post_step(key, ctx._outbox, changed_keys, newly_dirty)
+                state_changed_any |= sc
+                flow_changed |= fc
 
         # ---- pass 2: the delivery point ---------------------------------
         _t0 = _perf() if tel is not None else 0.0

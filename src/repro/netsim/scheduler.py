@@ -270,6 +270,10 @@ class SynchronousScheduler:
         #: execution/replay split of the last round (instrumentation)
         self.executed_last_round = 0
         self.replayed_last_round = 0
+        #: optional batched rule backend (see repro.core.rules_batched):
+        #: when set, each round hands the full list of step items to
+        #: ``run_batch`` instead of calling ``actor.step`` one by one
+        self._batch_stepper = None
 
     # ------------------------------------------------------------------
     # membership
@@ -440,6 +444,25 @@ class SynchronousScheduler:
         bit-for-bit identical.
         """
         self._telemetry = recorder
+
+    def set_batch_stepper(self, stepper) -> None:
+        """Install (or clear, with ``None``) a batched rule backend.
+
+        ``stepper`` must provide ``run_batch(items)`` where ``items`` is
+        the round's ``[(key, actor, inbox, ctx), ...]`` in key order; it
+        must leave every actor's observable effects (state, ``ctx``
+        outbox, counters, replay hooks) exactly as the equivalent
+        sequence of ``actor.step(inbox, ctx)`` calls would — the
+        equivalence suites compare the two backends bit for bit.
+
+        The batched path materializes every inbox before any step runs,
+        so it assumes actors do not post messages or mutate scheduler
+        membership *mid-round* (the Re-Chord actors never do: traffic
+        injection and join/leave/crash all happen between rounds).  A
+        mid-round post under this backend lands in the target's *next*
+        inbox — the scalar semantics for a target that already stepped.
+        """
+        self._batch_stepper = stepper
 
     def wake_ref_receivers(self, owners: Set) -> bool:
         """Columnar fast path for the network's in-flight ref scan.
@@ -682,6 +705,8 @@ class SynchronousScheduler:
         tel = self._telemetry
         _t0 = _perf() if tel is not None else 0.0
         outboxes: List[List[Envelope]] = []
+        stepper = self._batch_stepper
+        batch: Optional[List[tuple]] = [] if stepper is not None else None
         # Snapshot keys: actors added mid-round (e.g. by a join event
         # processed inside another actor) first step next round.
         keys = sorted(self._actors)
@@ -694,8 +719,15 @@ class SynchronousScheduler:
             inbox = self._inboxes.get(key, [])
             self._inboxes[key] = []
             ctx = RoundContext(round_no, key, self)
-            actor.step(inbox, ctx)
+            if batch is None:
+                actor.step(inbox, ctx)
+            else:
+                batch.append((key, actor, inbox, ctx))
+            # the ctx outbox list is shared with the batch, so appending
+            # it before the (deferred) batched execution is safe
             outboxes.append(ctx._outbox)
+        if batch:
+            stepper.run_batch(batch)
 
         if tel is not None:
             tel.add_time("kernel.step", _perf() - _t0, len(outboxes))
@@ -732,8 +764,30 @@ class SynchronousScheduler:
             self._trace.record_round(round_no, actors=len(keys), sent=sent, dropped=dropped)
         self._round += 1
 
+    def _probe_refresh(self, key: Hashable, probes: tuple) -> bool:
+        """Refresh an executed actor's probe baselines after its step.
+
+        Returns whether the exact state token changed (updating the
+        version/token caches and the rolling state hash exactly like the
+        inline block of the tracked hot loop).
+        """
+        version = probes[0]()
+        if version != self._ver.get(key):
+            self._ver[key] = version
+            tok = probes[1]()
+            if tok != self._tok.get(key):
+                self._tok[key] = tok
+                old_h = self._tok_hash.get(key, 0)
+                h = hash(tok) & _MASK
+                self._tok_hash[key] = h
+                self._state_hash = (self._state_hash - old_h + h) & _MASK
+                return True
+        return False
+
     # -- activity-tracked kernel, full activation ------------------------
     def _run_round_tracked(self) -> None:
+        if self._batch_stepper is not None:
+            return self._run_round_tracked_batched(self._batch_stepper)
         round_no = self._round
         tel = self._telemetry
         _t0 = _perf() if tel is not None else 0.0
@@ -912,6 +966,168 @@ class SynchronousScheduler:
             )
         self._round += 1
 
+    # -- activity-tracked kernel, full activation, batched backend -------
+    def _run_round_tracked_batched(self, stepper) -> None:
+        """:meth:`_run_round_tracked` over a batched rule backend.
+
+        Same round structure in two passes: pass A decides execute vs.
+        replay per key (in key order), pops inboxes, performs the
+        replays, and collects the execute items; the stepper then runs
+        the whole batch; pass B does the probe checks and outbox diffs
+        in the same key order, so contributions, wake-ups and hashes are
+        computed exactly as the scalar interleaving would.  Relies on
+        the no-mid-round-posts contract of :meth:`set_batch_stepper`
+        (``_posted_mid_round`` stays empty for Re-Chord actors).
+        """
+        round_no = self._round
+        tel = self._telemetry
+        _t0 = _perf() if tel is not None else 0.0
+        keys = sorted(self._actors)
+        state_changed_any = False
+        flow_changed = self._flow_flag  # posts / membership since last round
+        self._flow_flag = False
+        changed_keys: Set[Hashable] = set()
+        newly_dirty: Set[Hashable] = set()
+        contributions: List[List[Envelope]] = []
+        executed = 0
+        replayed = 0
+        new_pending = 0
+        dirty = self._dirty
+        self._dirty = set()
+        carry_due = self._dirty_carry
+        self._dirty_carry = set()
+        self._posted_mid_round = set()
+        self._in_round = True
+        # pass A: replay the quiescent actors, collect the dirty ones
+        plan: List[tuple] = []  # (key, ctx or None)
+        batch: List[tuple] = []
+        for key in keys:
+            actor = self._actors.get(key)
+            if actor is None:
+                continue
+            if key in dirty:
+                executed += 1
+                inbox = self._inboxes.get(key, [])
+                self._inboxes[key] = []
+                ctx = RoundContext(round_no, key, self)
+                batch.append((key, actor, inbox, ctx))
+                plan.append((key, ctx))
+            else:
+                replayed += 1
+                if self._inboxes.get(key):
+                    self._inboxes[key] = []
+                replay_fn = self._probes.get(key, (None, None, None))[2]
+                if replay_fn is not None:
+                    replay_fn()
+                plan.append((key, None))
+        if batch:
+            stepper.run_batch(batch)
+        # pass B: probe checks, outbox diffs and contributions, key order
+        for key, ctx in plan:
+            if ctx is None:
+                out = self._out.get(key, [])
+                contributions.append(out)
+                new_pending = (new_pending + self._out_hash.get(key, 0)) & _MASK
+                continue
+            out = ctx._outbox
+            probes = self._probes.get(key)
+            if probes is None or probes[0] is None:
+                state_changed = True
+                newly_dirty.add(key)
+            else:
+                state_changed = self._probe_refresh(key, probes)
+            if state_changed:
+                state_changed_any = True
+                changed_keys.add(key)
+                newly_dirty.add(key)
+            prev_out = self._out.get(key)
+            if prev_out != out:
+                flow_changed = True
+                prev_by: Dict[Hashable, List[Envelope]] = {}
+                for env in prev_out or ():
+                    prev_by.setdefault(env.target, []).append(env)
+                new_by: Dict[Hashable, List[Envelope]] = {}
+                for env in out:
+                    new_by.setdefault(env.target, []).append(env)
+                for target, sub in new_by.items():
+                    if prev_by.get(target) != sub:
+                        newly_dirty.add(target)
+                for target in prev_by:
+                    if target not in new_by:
+                        newly_dirty.add(target)
+                self._out[key] = out
+                self._out_hash[key] = _outbox_hash(out)
+            contributions.append(self._out[key])
+            new_pending = (new_pending + self._out_hash[key]) & _MASK
+
+        if tel is not None:
+            tel.add_time("kernel.step", _perf() - _t0, executed + replayed)
+            _t0 = _perf()
+        sent = 0
+        inboxes = self._inboxes
+        flt = self._drop_filter
+        delivery = self._delivery
+        unit = delivery.is_unit
+        token_mode = (not unit) or bool(self._future) or self._prev_pending is not None
+        matured, dropped = self._drain_matured(round_no)
+        for outbox in contributions:
+            for env in outbox:
+                sent += 1
+                if not unit:
+                    d = delivery.delay(env)
+                    if d > 1:
+                        self._future.setdefault(round_no + d, []).append(env)
+                        continue
+                box = inboxes.get(env.target)
+                if box is None or (flt is not None and flt(env)):
+                    dropped += 1
+                    new_pending = (new_pending - _envelope_hash(env)) & _MASK
+                    continue
+                box.append(env)
+        self.dropped_last_round = dropped
+        if tel is not None:
+            tel.add_time("kernel.deliver", _perf() - _t0)
+            msg = tel.messages
+            for outbox in contributions:
+                for env in outbox:
+                    msg[type(env.payload).__name__] += 1
+            tel.on_round(sent=sent, dropped=dropped,
+                         executed=executed, replayed=replayed)
+        if token_mode:
+            cur = self._pending_counter()
+            pending_changed = (
+                self._pending_force_changed
+                or self._prev_pending is None
+                or cur != self._prev_pending
+            )
+            self._pending_force_changed = False
+            pending = 0
+            for box in inboxes.values():
+                for env in box:
+                    pending = (pending + _envelope_hash(env)) & _MASK
+            self._pending_hash = pending
+            if unit and not self._future and not matured:
+                self._prev_pending = None
+            else:
+                self._prev_pending = cur
+            self.changed_last_round = state_changed_any or pending_changed
+        else:
+            self._pending_hash = new_pending
+            self.changed_last_round = state_changed_any or flow_changed
+        self.state_changed_keys = changed_keys
+        self.executed_last_round = executed
+        self.replayed_last_round = replayed
+        self._in_round = False
+        self._posted_mid_round = set()
+        newly_dirty |= carry_due
+        newly_dirty |= self._dirty  # marks added mid-round
+        self._dirty = newly_dirty
+        if self._trace is not None:
+            self._trace.record_round(
+                round_no, actors=len(keys), sent=sent, dropped=dropped, executed=executed
+            )
+        self._round += 1
+
     # -- activity-tracked kernel, partial activation ---------------------
     def _run_round_partial_tracked(self, active: set) -> None:
         """Partial activation under tracking: execute actives, no replays.
@@ -929,6 +1145,8 @@ class SynchronousScheduler:
         outboxes: List[List[Envelope]] = []
         executed = 0
         changed_keys: Set[Hashable] = set()
+        stepper = self._batch_stepper
+        batch: Optional[List[tuple]] = [] if stepper is not None else None
         for key in keys:
             if key not in active:
                 continue
@@ -939,26 +1157,32 @@ class SynchronousScheduler:
             inbox = self._inboxes.get(key, [])
             self._inboxes[key] = []
             ctx = RoundContext(round_no, key, self)
-            actor.step(inbox, ctx)
+            if batch is None:
+                actor.step(inbox, ctx)
+            else:
+                batch.append((key, actor, inbox, ctx))
+                continue  # probe/cache refresh deferred past run_batch
             out = ctx._outbox
             outboxes.append(out)
             probes = self._probes.get(key)
             if probes and probes[0] is not None:
-                version = probes[0]()
-                if version != self._ver.get(key):
-                    self._ver[key] = version
-                    tok = probes[1]()
-                    if tok != self._tok.get(key):
-                        self._tok[key] = tok
-                        old_h = self._tok_hash.get(key, 0)
-                        h = hash(tok) & _MASK
-                        self._tok_hash[key] = h
-                        self._state_hash = (self._state_hash - old_h + h) & _MASK
-                        changed_keys.add(key)
+                if self._probe_refresh(key, probes):
+                    changed_keys.add(key)
             # refresh the emission cache with this (accumulated-inbox)
             # execution so a later identity round can go quiescent
             self._out[key] = out
             self._out_hash[key] = _outbox_hash(out)
+        if batch:
+            stepper.run_batch(batch)
+            for key, _actor, _inbox, ctx in batch:
+                out = ctx._outbox
+                outboxes.append(out)
+                probes = self._probes.get(key)
+                if probes and probes[0] is not None:
+                    if self._probe_refresh(key, probes):
+                        changed_keys.add(key)
+                self._out[key] = out
+                self._out_hash[key] = _outbox_hash(out)
 
         if tel is not None:
             tel.add_time("kernel.step", _perf() - _t0, executed)

@@ -99,3 +99,74 @@ class TestOrdering:
         r = make_ref(SPACE, 9, 1)
         assert r.key == (r.id, 1, 9, 1)
         assert NodeRef.real(9).key == (9, 0, 9, 0)
+
+
+class TestInternTableColumns:
+    """The intern table's flat columns feed the batched rule kernels —
+    lock down dense-id stability (no slot reuse, ever) and the -1
+    sentinel's aliasing hazard."""
+
+    def test_negative_iid_rejected(self):
+        """``ref(-1)`` must raise, not negative-index to the last row.
+
+        A direct-constructed (never-interned) ref carries ``iid == -1``;
+        a batched kernel accidentally resolving that through the table
+        would silently read whatever identity was interned *last* —
+        after a mass leave, some unrelated live peer.
+        """
+        from repro.core.noderef import INTERN
+
+        NodeRef.real(7)  # the table is certainly non-empty
+        with pytest.raises(IndexError):
+            INTERN.ref(-1)
+        assert NodeRef(12345, 12345, 0).iid == -1  # sentinel unchanged
+
+    def test_mass_leave_never_reuses_slots(self):
+        """Rows are append-only: churning peers in and out of a network
+        never frees or re-assigns a dense id."""
+        from repro.core.network import ReChordNetwork
+        from repro.core.noderef import INTERN
+
+        net = ReChordNetwork()
+        ids = [1000 + 17 * k for k in range(12)]
+        for pid in ids:
+            net.add_peer(pid)
+        for a, b in zip(ids, ids[1:]):
+            net.add_initial_edge(net.ref(a), net.ref(b))
+        net.run_until_stable(max_rounds=4000)
+        before = {pid: net.ref(pid).iid for pid in ids}
+        rows_before = len(INTERN)
+        for pid in ids[: len(ids) - 2]:  # mass leave, keep it connected
+            net.crash(pid)
+        net.run_until_stable(max_rounds=4000)
+        # dead peers' rows still name the same identities
+        for pid, iid in before.items():
+            ref = INTERN.ref(iid)
+            assert (ref.owner, ref.level) == (pid, 0)
+            assert ref is NodeRef.real(pid)
+        assert len(INTERN) >= rows_before  # monotone growth, no eviction
+
+    def test_columns_aligned_with_refs(self):
+        from repro.core.noderef import INTERN
+
+        refs = INTERN.all_refs()
+        ids, owners, levels = INTERN.columns()
+        assert len(refs) == len(ids) == len(owners) == len(levels) == len(INTERN)
+        # spot-check full alignment on a stride plus the boundary rows
+        rows = set(range(0, len(refs), max(1, len(refs) // 64)))
+        rows.update((0, len(refs) - 1))
+        for i in rows:
+            ref = refs[i]
+            assert ref.iid == i
+            assert INTERN.ref(i) is ref
+            assert (ids[i], owners[i], levels[i]) == (ref.id, ref.owner, ref.level)
+
+    def test_intern_is_idempotent_under_rejoin(self):
+        """Re-interning after a leave returns the original row."""
+        from repro.core.noderef import INTERN
+
+        ref = make_ref(SPACE, 321, 1)
+        iid = ref.iid
+        again = make_ref(SPACE, 321, 1)
+        assert again is ref and again.iid == iid
+        assert INTERN.ref(iid) is ref
