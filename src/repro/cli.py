@@ -108,6 +108,19 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--telemetry", action="store_true",
                 help="attach a telemetry recorder per run and report its census",
             )
+            p.add_argument(
+                "--sketch-quantiles", type=float, nargs="*", default=None,
+                metavar="Q",
+                help="opt-in P2 streaming latency quantiles (e.g. 0.5 0.99), "
+                "reported as latency_p*_sketch alongside the exact stats",
+            )
+            p.add_argument(
+                "--collector", type=str, default="list",
+                choices=("list", "streaming"),
+                help="completion retention: full list (the spec) or a "
+                "bounded streaming collector (exact counters, P2 p95, "
+                "reservoir sample) for very large campaigns",
+            )
     scen = sub.add_parser(
         "scenario",
         help="declarative fault/churn campaigns (see docs/SCENARIOS.md)",
@@ -144,6 +157,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="run the campaign with a telemetry recorder attached and "
         "append the counter census / phase-timer report",
+    )
+    scen.add_argument(
+        "--sketch-quantiles", type=float, nargs="*", default=None,
+        metavar="Q",
+        help="opt-in P2 streaming latency quantiles for the campaign's "
+        "traffic (e.g. 0.5 0.99); reported as latency_p*_sketch in the "
+        "summary and JSON (needs a scenario with traffic attached)",
     )
     obs = sub.add_parser(
         "observe",
@@ -277,6 +297,18 @@ def _run_scenario_command(args: argparse.Namespace) -> List[str]:
         spec = spec.with_overrides(latency=_parse_model_arg(args.latency_model))
     if args.daemon is not None:
         spec = spec.with_overrides(daemon=_parse_model_arg(args.daemon))
+    if getattr(args, "sketch_quantiles", None):
+        if spec.traffic is None:
+            raise SystemExit(
+                "scenario: --sketch-quantiles needs a scenario with traffic"
+            )
+        from dataclasses import replace as _dc_replace
+
+        spec = spec.with_overrides(
+            traffic=_dc_replace(
+                spec.traffic, sketch_quantiles=tuple(args.sketch_quantiles)
+            )
+        )
     recorder = None
     if args.telemetry:
         from repro.telemetry import TelemetryRecorder
@@ -419,6 +451,8 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
         out.append(format_traffic(run_traffic(
             _sizes(args, TRAFFIC_SIZES), _seeds(args, 1), rs,
             telemetry=getattr(args, "telemetry", False),
+            sketch_quantiles=getattr(args, "sketch_quantiles", None),
+            collector_mode=getattr(args, "collector", "list"),
         )))
     return out
 

@@ -119,12 +119,19 @@ def measure_one(
     churn_events: Optional[int] = None,
     deadline: int = 48,
     telemetry: object = None,
+    sketch_quantiles: Optional[Sequence[float]] = None,
+    collector_mode: str = "list",
 ) -> TrafficChurnRun:
     """One full churn-recovery traffic run at size ``n``.
 
     ``telemetry`` opts the run into the observation plane (``True`` for
     a fresh recorder, or an existing one); purely observational — the
     recovery profile is identical with or without it.
+    ``sketch_quantiles`` adds opt-in P² latency estimates to the totals
+    (separate ``latency_p*_sketch`` keys).  ``collector_mode``
+    ``"streaming"`` bounds collector memory for very large campaigns:
+    counter totals stay exact, but the per-bucket recovery profile and
+    the histogram are then computed over the reservoir *sample*.
     """
     seq = SeedSequence(seed).child("traffic", n=n)
     build_seed = seq.child("build").seed()
@@ -136,7 +143,12 @@ def measure_one(
     # (traffic never mutates overlay state, so the repair trajectory of
     # the traffic-carrying network is identical)
     twin = build_ideal_network(n, build_seed, incremental=True)
-    plane = TrafficPlane(net, default_deadline=deadline)
+    plane = TrafficPlane(
+        net,
+        default_deadline=deadline,
+        sketch_quantiles=sketch_quantiles,
+        collector_mode=collector_mode,
+    )
     rate = rate if rate is not None else max(2.0, n / 64)
     WorkloadGenerator(
         plane,
@@ -204,7 +216,7 @@ def measure_one(
         buckets=tuple(rows),
         totals=plane.collector.summary(),
         latency_hist=tuple(latency_histogram(plane.collector.routed_latencies())),
-        violations=len(plane.collector.violations),
+        violations=plane.collector.violations_count,
         telemetry=tel,
     )
 
@@ -214,17 +226,29 @@ def run_traffic(
     seeds: int = 1,
     root_seed: int = DEFAULT_ROOT_SEED,
     telemetry: bool = False,
+    sketch_quantiles: Optional[Sequence[float]] = None,
+    collector_mode: str = "list",
 ) -> List[TrafficChurnRun]:
     """The churn-recovery traffic sweep (one run per size per seed).
 
     ``telemetry=True`` attaches a fresh recorder to every run and
-    carries its census on the run record (observational only).
+    carries its census on the run record (observational only);
+    ``sketch_quantiles``/``collector_mode`` pass through to
+    :func:`measure_one`.
     """
     runs: List[TrafficChurnRun] = []
     for n in sizes:
         for rep in range(seeds):
             seed = SeedSequence(root_seed).child("traffic-exp", n=n, rep=rep).seed()
-            runs.append(measure_one(n, seed, telemetry=telemetry))
+            runs.append(
+                measure_one(
+                    n,
+                    seed,
+                    telemetry=telemetry,
+                    sketch_quantiles=sketch_quantiles,
+                    collector_mode=collector_mode,
+                )
+            )
     return runs
 
 
@@ -255,6 +279,11 @@ def format_traffic(runs: Sequence[TrafficChurnRun]) -> str:
         lines.append(f"{'latency histogram (rounds)':>28} {hist}")
         outcomes = "  ".join(f"{k}:{v}" for k, v in t["outcomes"].items())
         lines.append(f"{'outcomes':>28} {outcomes}")
+        sketch = "  ".join(
+            f"{k}:{v}" for k, v in sorted(t.items()) if k.endswith("_sketch")
+        )
+        if sketch:
+            lines.append(f"{'sketch quantiles':>28} {sketch}")
         if run.telemetry is not None:
             census = run.telemetry["census"]
             msgs = "  ".join(
@@ -299,8 +328,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seeds", type=int, default=1)
     parser.add_argument("--root-seed", type=int, default=DEFAULT_ROOT_SEED)
     parser.add_argument("--out", type=Path, default=None, help="results directory")
+    parser.add_argument(
+        "--sketch-quantiles",
+        type=float,
+        nargs="*",
+        default=None,
+        help="opt-in P2 latency quantiles (e.g. 0.5 0.99)",
+    )
+    parser.add_argument(
+        "--collector",
+        choices=("list", "streaming"),
+        default="list",
+        help="completion retention mode (streaming bounds memory)",
+    )
     args = parser.parse_args(argv)
-    runs = run_traffic(tuple(args.sizes), args.seeds, args.root_seed)
+    runs = run_traffic(
+        tuple(args.sizes),
+        args.seeds,
+        args.root_seed,
+        sketch_quantiles=args.sketch_quantiles,
+        collector_mode=args.collector,
+    )
     text = format_traffic(runs)
     print(text)
     if args.out is not None:

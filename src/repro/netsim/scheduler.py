@@ -680,6 +680,55 @@ class SynchronousScheduler:
                     self._prev_pending[(0, envelope.target, _envelope_canon(envelope))] += 1
         return True
 
+    def post_batch(self, envelopes: Sequence[Envelope]) -> List[bool]:
+        """Bulk :meth:`post`: inject a round's worth of messages in one pass.
+
+        Semantically identical to posting each envelope in order — same
+        per-envelope accept/reject results, same dirty-set, pending-hash
+        and flow bookkeeping — so batched traffic injection cannot be
+        distinguished from the one-at-a-time loop by any kernel.  The
+        fast path applies in the batched-injection configuration (unit
+        delivery, no drop filter, between rounds) and hoists the
+        per-envelope attribute traffic and flow-flag writes out of the
+        loop; any other configuration falls back to per-envelope
+        :meth:`post`, which handles delayed maturation and drops.
+        """
+        if not envelopes:
+            return []
+        if (
+            not self._delivery.is_unit
+            or self._drop_filter is not None
+            or self._in_round
+        ):
+            return [self.post(env) for env in envelopes]
+        inboxes = self._inboxes
+        tracking = self.activity_tracking
+        dirty = self._dirty
+        carry = self._dirty_carry
+        prev = self._prev_pending
+        pending = self._pending_hash
+        results: List[bool] = []
+        posted_any = False
+        for env in envelopes:
+            box = inboxes.get(env.target)
+            if box is None:
+                results.append(False)
+                continue
+            box.append(env)
+            results.append(True)
+            posted_any = True
+            if tracking:
+                dirty.add(env.target)
+                carry.add(env.target)
+                pending = (pending + _envelope_hash(env)) & _MASK
+                if prev is not None:
+                    prev[(0, env.target, _envelope_canon(env))] += 1
+        if tracking:
+            self._pending_hash = pending
+            if posted_any:
+                self._flow_flag = True  # one-shot injections: boundary differs
+        return results
+
     def run_round(self, active: Optional[set] = None) -> None:
         """Execute one synchronous round.
 

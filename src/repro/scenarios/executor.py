@@ -189,7 +189,7 @@ def _sample(
         outstanding_ops=(
             plane.collector.outstanding_count() if plane is not None else 0
         ),
-        completed_ops=(len(plane.collector.completed) if plane is not None else 0),
+        completed_ops=(plane.collector.completed_count if plane is not None else 0),
     )
 
 
@@ -239,7 +239,12 @@ def run_scenario(
         store = None
         if t.needs_store():
             store = KeyValueStore(ReChordRouter(net))
-        plane = TrafficPlane(net, store=store, default_deadline=t.deadline)
+        plane = TrafficPlane(
+            net,
+            store=store,
+            default_deadline=t.deadline,
+            sketch_quantiles=t.sketch_quantiles,
+        )
         # no explicit per-op deadline: ops fall through to the plane's
         # default, which scales with the installed delivery model's
         # wire-delay bound (identical to t.deadline under unit delivery)

@@ -90,6 +90,10 @@ class TrafficSpec:
     deadline: int = 32
     ttl: Optional[int] = None
     max_outstanding: Optional[int] = None
+    #: opt-in P² streaming latency quantiles (e.g. ``(0.5, 0.99)``);
+    #: estimates land under separate ``latency_p*_sketch`` summary keys,
+    #: so default reports (and their baselines) are unchanged
+    sketch_quantiles: Optional[Tuple[float, ...]] = None
 
     def needs_store(self) -> bool:
         """Whether the mix issues KV operations."""
@@ -106,6 +110,9 @@ class TrafficSpec:
             "deadline": self.deadline,
             "ttl": self.ttl,
             "max_outstanding": self.max_outstanding,
+            "sketch_quantiles": (
+                list(self.sketch_quantiles) if self.sketch_quantiles else None
+            ),
         }
 
     @staticmethod
@@ -113,6 +120,8 @@ class TrafficSpec:
         """Inverse of :meth:`to_dict`."""
         kw = dict(data)
         kw["op_mix"] = tuple((str(op), float(w)) for op, w in kw.get("op_mix", [["lookup", 1.0]]))
+        if kw.get("sketch_quantiles") is not None:
+            kw["sketch_quantiles"] = tuple(float(q) for q in kw["sketch_quantiles"])
         return TrafficSpec(**kw)
 
 

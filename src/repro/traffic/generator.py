@@ -15,15 +15,24 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from typing import Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.idspace.keys import key_id
 from repro.traffic.messages import OP_GET, OP_LOOKUP, OP_PUT
 from repro.traffic.plane import TrafficPlane
 
+try:  # vectorized draw mapping (the raw seeded stream is unchanged)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the base image
+    _np = None
+
 #: popularity shapes
 POP_UNIFORM = "uniform"
 POP_ZIPF = "zipf"
+
+#: below this many arrivals per round the numpy round-trip costs more
+#: than the pure-python bisect mapping it replaces
+_VECTOR_MIN = 64
 
 
 class WorkloadGenerator:
@@ -96,6 +105,13 @@ class WorkloadGenerator:
             acc += weight / total
             mix.append((acc, op))
         self._mix: Tuple[Tuple[float, str], ...] = tuple(mix)
+        # split columns of the mix for the vectorized batch mapping
+        self._mix_edges: Tuple[float, ...] = tuple(edge for edge, _ in mix)
+        self._mix_ops: Tuple[str, ...] = tuple(op for _, op in mix)
+        self._mix_edges_np = _np.asarray(self._mix_edges) if _np is not None else None
+        self._cum_np = (
+            _np.asarray(self._cum) if _np is not None and self._cum is not None else None
+        )
         self._credit = 0.0
         self._value_serial = 0
         #: total ops handed to the plane
@@ -130,6 +146,12 @@ class WorkloadGenerator:
         With ``max_outstanding`` set, arrivals beyond the free slots are
         *dropped*, not queued — the closed loop throttles offered load
         instead of building a retroactive burst.
+
+        The round's arrivals are drawn as one batch and handed to
+        :meth:`TrafficPlane.issue_batch` in a single registration/post
+        sweep; the seeded draw stream (and with it every recorded
+        schedule) is identical to the historical one-op-at-a-time loop
+        — see :meth:`_draw_batch`.
         """
         if not self.active or self.rate == 0:
             return 0
@@ -144,14 +166,79 @@ class WorkloadGenerator:
                 budget,
                 max(0, self.max_outstanding - self.plane.collector.outstanding_count()),
             )
-        for _ in range(budget):
-            op = self.draw_op()
-            key = self.draw_key()
-            origin = self.rng.choice(ids)
+        if budget <= 0:
+            return budget
+        self.plane.issue_batch(
+            self._draw_batch(budget, ids), ttl=self.ttl, deadline=self.deadline
+        )
+        self.issued += budget
+        return budget
+
+    def _draw_batch(
+        self, budget: int, ids: Sequence[int]
+    ) -> List[Tuple[str, int, int, Any]]:
+        """Draw ``budget`` arrivals as ``(op, kid, origin, value)`` rows.
+
+        Stream identity is the contract here: the raw draws replay the
+        historical per-arrival order exactly — op uniform, key draw,
+        origin index, one triple per arrival from the same seeded
+        ``random.Random`` stream (``choice(ids)`` and
+        ``randrange(len(ids))`` consume identical ``_randbelow`` calls)
+        — so every seeded schedule, and every baseline recorded from
+        one, is unchanged.  Only the *mapping* of raw uniforms onto the
+        cumulative op-mix/Zipf edges is vectorized: one numpy
+        ``searchsorted`` per column when available and worthwhile, a
+        pure ``bisect_left`` sweep otherwise (both reproduce the
+        first-edge->=x scan and the historical end clamps exactly).
+        Keys come from the pre-hashed :attr:`kids` table, so batch
+        injection never re-digests a key name.
+        """
+        rng = self.rng
+        n_keys = len(self.keys)
+        n_ids = len(ids)
+        uniform = self._cum is None
+        op_draws: List[float] = []
+        key_draws: list = []
+        origin_idx: List[int] = []
+        if uniform:
+            for _ in range(budget):
+                op_draws.append(rng.random())
+                key_draws.append(rng.randrange(n_keys))
+                origin_idx.append(rng.randrange(n_ids))
+        else:
+            cum_total = self._cum[-1]
+            for _ in range(budget):
+                op_draws.append(rng.random())
+                key_draws.append(rng.random() * cum_total)
+                origin_idx.append(rng.randrange(n_ids))
+        last_op = len(self._mix_ops) - 1
+        if _np is not None and budget >= _VECTOR_MIN:
+            op_idx = _np.minimum(
+                _np.searchsorted(self._mix_edges_np, op_draws, side="left"), last_op
+            ).tolist()
+            key_idx = (
+                key_draws
+                if uniform
+                else _np.minimum(
+                    _np.searchsorted(self._cum_np, key_draws, side="left"), n_keys - 1
+                ).tolist()
+            )
+        else:
+            edges = self._mix_edges
+            op_idx = [min(bisect_left(edges, x), last_op) for x in op_draws]
+            key_idx = (
+                key_draws
+                if uniform
+                else [min(bisect_left(self._cum, x), n_keys - 1) for x in key_draws]
+            )
+        mix_ops = self._mix_ops
+        kids = self.kids
+        rows: List[Tuple[str, int, int, Any]] = []
+        for oi, ki, gi in zip(op_idx, key_idx, origin_idx):
+            op = mix_ops[oi]
             value = None
             if op == OP_PUT:
                 value = f"v{self._value_serial}"
                 self._value_serial += 1
-            self.plane.issue(op, key, origin, value=value, ttl=self.ttl, deadline=self.deadline)
-            self.issued += 1
-        return budget
+            rows.append((op, kids[ki], ids[gi], value))
+        return rows

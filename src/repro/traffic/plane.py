@@ -44,9 +44,9 @@ seen-set) or dead-end — all surfaced as distinct outcomes by the
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import replace
-from typing import TYPE_CHECKING, Any, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.telemetry.tracing import TraceContext
 
@@ -65,7 +65,7 @@ from repro.traffic.messages import (
     LookupReply,
     LookupRequest,
 )
-from repro.traffic.slo import IssuedOp, SLOCollector
+from repro.traffic.slo import MODE_LIST, IssuedOp, SLOCollector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.network import ReChordNetwork
@@ -104,10 +104,18 @@ class TrafficPlane:
         store: Optional["KeyValueStore"] = None,
         default_ttl: Optional[int] = None,
         default_deadline: int = 48,
+        collector_mode: str = MODE_LIST,
+        sketch_quantiles: Optional[Sequence[float]] = None,
+        reservoir_size: int = 1024,
     ) -> None:
         self.net = net
         self.store = store
-        self.collector = SLOCollector(self.true_owner)
+        self.collector = SLOCollector(
+            self.true_owner,
+            sketch_quantiles=sketch_quantiles,
+            mode=collector_mode,
+            reservoir_size=reservoir_size,
+        )
         #: optional workload generator driven by run_round()
         self.generator = None
         self.default_deadline = default_deadline
@@ -116,6 +124,11 @@ class TrafficPlane:
         #: sorted live ids cached per membership version (one completion
         #: classification per op must not pay an O(n log n) sort)
         self._live_cache: tuple = (-1, [])
+        #: per-peer sorted routing view memo, keyed on ``state.version``
+        #: — every effective mutation bumps the version (the standing
+        #: PeerState contract), so a hit is exactly the view the linear
+        #: rebuild would have produced
+        self._view_cache: Dict[int, Tuple[int, List[int]]] = {}
         net.attach_traffic(self)
 
     def detach(self) -> None:
@@ -239,6 +252,87 @@ class TrafficPlane:
             self.collector.fail_unissued(issued, issue_round)
         return op_id
 
+    def issue_batch(
+        self,
+        ops: Sequence[Tuple[str, int, int, Any]],
+        ttl: Optional[int] = None,
+        deadline: Optional[int] = None,
+    ) -> List[int]:
+        """Bulk :meth:`issue`: one pass for a whole round of arrivals.
+
+        ``ops`` is a sequence of ``(op, kid, origin, value)`` tuples with
+        the key already resolved to a circle position (the workload
+        generator pre-hashes its key universe once, so batch injection
+        skips the per-op ``key_id`` digest entirely).  All ops in the
+        batch share one ``ttl``/``deadline`` resolution and one
+        registration/post sweep; per-op semantics — op-id assignment
+        order, trace sampling, dead-origin failure — are identical to
+        issuing them one by one.  Returns the op ids in batch order.
+        """
+        if not ops:
+            return []
+        bad = {op for op, _, _, _ in ops} - {OP_LOOKUP, OP_GET, OP_PUT}
+        if bad:
+            raise ValueError(f"unknown traffic op {sorted(bad)[0]!r}")
+        if self.store is None and any(op != OP_LOOKUP for op, _, _, _ in ops):
+            raise RuntimeError("KV traffic needs a store: TrafficPlane(net, store=...)")
+        space = self.net.space
+        issue_round = self.net.round_no
+        deadline_round = issue_round + (
+            deadline if deadline is not None else self.deadline_for()
+        )
+        ttl_val = ttl if ttl is not None else self.ttl_for()
+        tel = self.net.telemetry
+        op_id = self._next_op_id
+        issued_ops: List[IssuedOp] = []
+        envelopes: List[Envelope] = []
+        op_ids: List[int] = []
+        for op, kid, origin, value in ops:
+            space.check_id(kid)
+            issued_ops.append(
+                IssuedOp(
+                    op_id=op_id,
+                    op=op,
+                    origin=origin,
+                    kid=kid,
+                    issue_round=issue_round,
+                    deadline=deadline_round,
+                )
+            )
+            request = LookupRequest(
+                op=op,
+                op_id=op_id,
+                origin=origin,
+                kid=kid,
+                ttl=ttl_val,
+                hops=0,
+                path=(origin,),
+                value=value,
+            )
+            if tel is not None and tel.sampled(op_id):
+                request = replace(
+                    request,
+                    trace=TraceContext(
+                        op_id=op_id, hops=((origin, issue_round, "issue"),)
+                    ),
+                )
+            envelopes.append(Envelope(origin, origin, request))
+            op_ids.append(op_id)
+            op_id += 1
+        self._next_op_id = op_id
+        posted = self.net.scheduler.post_batch(envelopes)
+        registered: List[IssuedOp] = []
+        for issued, ok in zip(issued_ops, posted):
+            if ok:
+                registered.append(issued)
+            else:
+                self.collector.fail_unissued(issued, issue_round)
+        self.collector.register_batch(registered)
+        if tel is not None:
+            tel.counters["traffic.batch_calls"] += 1
+            tel.counters["traffic.batch_ops"] += len(ops)
+        return op_ids
+
     def lookup(self, key: "str | bytes | int", origin: int, **kw: Any) -> int:
         """Inject a lookup for ``key`` at ``origin``."""
         return self.issue(OP_LOOKUP, key, origin, **kw)
@@ -262,7 +356,7 @@ class TrafficPlane:
                 if view is None:
                     # the overlay state cannot change mid-step after the
                     # rules ran: one sorted view serves every request
-                    view = sorted(self._local_view(peer.state))
+                    view = self._view_for(peer.state)
                 self._handle_request(peer, payload, ctx, view)
             elif isinstance(payload, LookupReply):
                 self._handle_reply(payload, ctx)
@@ -290,19 +384,24 @@ class TrafficPlane:
         if not view:
             self._reply(req, ST_DEAD_END, me, ctx)
             return
-        best: Optional[int] = None
-        best_d = space.distance_cw(me, req.kid)
+        # the best-progress neighbor — argmin of distance_cw(cand, kid)
+        # over candidates in the arc (me, kid] — is the *circular
+        # predecessor* of kid in the sorted view, provided it lies in
+        # the arc at all: walking counter-clockwise from kid, every id
+        # encountered before leaving (me, kid] is inside it, so if the
+        # nearest one is outside, the arc holds no candidate.  (Any
+        # candidate in (me, kid] also trivially beats distance_cw(me,
+        # kid), which the historical linear scan used as its initial
+        # bound.)  One bisect replaces the O(v) scan, same decision.
+        best = view[bisect_right(view, req.kid) - 1]  # view[-1] wraps
         rule = "greedy"
-        for cand in view:  # pre-sorted by handle()
-            if space.between_open_closed(me, cand, req.kid):
-                d = space.distance_cw(cand, req.kid)
-                if d < best_d:
-                    best, best_d = cand, d
-        if best is None:
+        if not space.between_open_closed(me, best, req.kid):
             # the key lies between us and every known neighbor: hand the
             # request to our closest clockwise neighbor (the believed
-            # successor), who should find itself responsible
-            best = min(view, key=lambda c: space.distance_cw(me, c))
+            # successor), who should find itself responsible — i.e. the
+            # first view entry after me, wrapping (me is never in view,
+            # and ids are distinct, so the argmin is unique)
+            best = view[bisect_right(view, me) % len(view)]
             rule = "fallback"
         if best in req.path:
             self._reply(req, ST_LOOP, me, ctx)
@@ -368,6 +467,29 @@ class TrafficPlane:
             self.collector.on_reply(reply, ctx.round_no)
         else:
             ctx.send(req.origin, reply)
+
+    def _view_for(self, state) -> List[int]:
+        """The peer's sorted routing view, memoized on ``state.version``.
+
+        ``PeerState.version`` bumps on every effective mutation (the
+        standing contract the incremental kernel is built on), so a
+        version hit returns exactly the view a fresh rebuild would
+        produce; rules run before traffic inside a step, so the version
+        observed here already reflects this round's repairs.  The cache
+        is pruned of departed peers when it outgrows the live set, so a
+        long churny campaign cannot accumulate unbounded entries.
+        """
+        me = state.peer_id
+        cached = self._view_cache.get(me)
+        if cached is not None and cached[0] == state.version:
+            return cached[1]
+        view = sorted(self._local_view(state))
+        if len(self._view_cache) >= 2 * len(self.net.peers) + 64:
+            live = self.net.peers
+            for pid in [p for p in self._view_cache if p not in live]:
+                del self._view_cache[pid]
+        self._view_cache[me] = (state.version, view)
+        return view
 
     @staticmethod
     def _local_view(state) -> Set[int]:

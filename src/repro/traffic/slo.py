@@ -22,13 +22,59 @@ Outcome taxonomy (one per completed op):
 * ``timeout`` — no reply before the op's deadline round (includes
   messages dropped at crashed peers);
 * ``origin_dead`` — the op was issued at a peer that no longer exists.
+
+Collector modes (million-op campaigns)
+--------------------------------------
+
+The collector runs in one of two modes:
+
+* ``"list"`` (the default, and the spec): every :class:`CompletedOp` is
+  retained in :attr:`SLOCollector.completed`, and latency percentiles
+  are exact.  Memory is O(ops).
+* ``"streaming"``: per-operation memory is O(1) — running counters and
+  moments replace the full completion list, ``latency_p95`` comes from
+  a P² sketch, and :attr:`SLOCollector.completed` holds a **seeded
+  reservoir sample** (Vitter's algorithm R, bounded by
+  ``reservoir_size``) instead of every record.  All *counter* keys of
+  :meth:`SLOCollector.summary` (``issued`` / ``completed`` /
+  ``outcomes`` / ``violations`` / ``success_rate`` / latency and hop
+  means and maxima) are computed from exact running aggregates and are
+  identical to list mode on the same campaign; only the percentile
+  estimate is approximate.  The differential suite pins this.
+
+Two ledger structures are bounded in **both** modes, with explicit
+overflow policies (unbounded growth over a 10^6-op campaign would
+defeat the streaming mode):
+
+* the succeeded-once index behind the violation counter holds at most
+  ``max_tracked_searches`` distinct ``(origin, kid)`` keys; on overflow
+  *new* keys are no longer admitted (existing keys keep detecting
+  violations exactly) and each dropped admission is counted in
+  :attr:`SLOCollector.tracked_search_overflow` — the violation counter
+  can then only undercount, never overcount;
+* violation *records* kept for offline analysis are capped at
+  ``max_violation_records`` in streaming mode (first-K retained);
+  :attr:`SLOCollector.violations_count` stays exact in every mode.
+
+Deadline wheel
+--------------
+
+Deadline expiry is O(due) per sweep, not O(outstanding): registrations
+are bucketed by deadline round (``deadline_round -> [op_ids]`` plus a
+heap of bucket rounds), :meth:`SLOCollector.expire` pops every due
+bucket, and completions unlink lazily — a bucketed op that was already
+answered is simply skipped when its bucket drains.  Buckets drain in
+deadline order (ties in registration order), deterministically.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+import random
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.traffic.messages import (
     OUT_MISROUTE,
@@ -41,6 +87,10 @@ from repro.traffic.messages import (
 
 #: outcomes that count as a successful search (reached the true owner)
 ROUTED_OUTCOMES = (ST_OK, ST_NOTFOUND)
+
+#: collector modes (see module docstring)
+MODE_LIST = "list"
+MODE_STREAMING = "streaming"
 
 
 @dataclass(frozen=True)
@@ -130,7 +180,12 @@ def latency_histogram(
     """Bucketed latency counts, ``bounds`` are inclusive upper edges.
 
     Defaults to power-of-two edges up to 256 rounds plus an overflow
-    bucket, the shape used by every traffic report in this repo.
+    bucket, the shape used by every traffic report in this repo.  Each
+    value is placed with one ``bisect_left`` over the edges — O(log
+    edges) instead of the historical linear scan — preserving the
+    inclusive-upper-edge semantics: a value *equal* to an edge lands in
+    that edge's bucket (``bisect_left`` returns the edge's own index
+    for an exact hit, because the first edge >= v is the bucket for v).
     """
     if bounds is None:
         bounds = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -139,13 +194,9 @@ def latency_histogram(
         # overflow label: everything lands in one catch-all bucket
         return [("all", len(values))]
     buckets = [0] * (len(bounds) + 1)
+    edges = list(bounds)
     for v in values:
-        for i, edge in enumerate(bounds):
-            if v <= edge:
-                buckets[i] += 1
-                break
-        else:
-            buckets[-1] += 1
+        buckets[bisect_left(edges, v)] += 1
     labels = [f"<={edge}" for edge in bounds] + [f">{bounds[-1]}"]
     return list(zip(labels, buckets))
 
@@ -157,6 +208,11 @@ class SLOCollector:
     plane supplies ``chord_successor`` over live membership); it is
     consulted once per completion, so classification always reflects the
     membership at completion time.
+
+    ``mode`` selects the retention policy (see the module docstring):
+    ``"list"`` (default, O(ops) memory, exact percentiles) or
+    ``"streaming"`` (O(1) per op: running aggregates + P² sketch +
+    seeded reservoir sample of size ``reservoir_size``).
 
     Standalone (no network), the ledger mechanics look like this:
 
@@ -174,38 +230,111 @@ class SLOCollector:
         self,
         true_owner: Callable[[int], Optional[int]],
         sketch_quantiles: Optional[Sequence[float]] = None,
+        mode: str = MODE_LIST,
+        reservoir_size: int = 1024,
+        reservoir_seed: int = 2011,
+        max_tracked_searches: int = 1 << 20,
+        max_violation_records: int = 4096,
     ) -> None:
+        if mode not in (MODE_LIST, MODE_STREAMING):
+            raise ValueError(f"unknown collector mode {mode!r}")
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self._true_owner = true_owner
-        #: opt-in streaming latency percentiles (P² sketches) for
-        #: campaigns too large for the full completion list to be the
-        #: metrics source; ``summary()`` keys are unchanged by default
+        self.mode = mode
+        #: opt-in streaming latency percentiles (P² sketches) for extra
+        #: quantiles; ``summary()`` keys are unchanged by default — the
+        #: estimates land under separate ``latency_p*_sketch`` keys
         self.sketches: Optional[Dict[float, object]] = None
         if sketch_quantiles:
             from repro.telemetry.sketch import P2Quantile
 
             self.sketches = {q: P2Quantile(q) for q in sketch_quantiles}
+        #: streaming mode's own p95 sketch backing the ``latency_p95``
+        #: summary key (list mode computes the exact nearest-rank value)
+        self._p95 = None
+        self._reservoir_rng: Optional[random.Random] = None
+        self.reservoir_size = reservoir_size
+        if mode == MODE_STREAMING:
+            from repro.telemetry.sketch import P2Quantile
+
+            self._p95 = P2Quantile(0.95)
+            self._reservoir_rng = random.Random(reservoir_seed)
         self.outstanding: Dict[int, IssuedOp] = {}
+        #: list mode: every completion, in completion order.  streaming
+        #: mode: a seeded reservoir sample (NOT chronological) bounded by
+        #: ``reservoir_size`` — counts must come from completed_count
         self.completed: List[CompletedOp] = []
         self.outcomes: Dict[str, int] = {}
+        #: exact completion counters, maintained in both modes
+        self.completed_count = 0
+        self.routed_count = 0
         #: replies that arrived after their op already timed out
         self.late_replies = 0
-        #: (origin, kid) pairs with at least one successful search
-        self._succeeded_once: set = set()
-        #: recorded monotonic-searchability violations
+        #: (origin, kid) pairs with at least one successful search,
+        #: bounded by ``max_tracked_searches`` (overflow: new keys are
+        #: dropped and counted — violations can then only undercount)
+        self._succeeded_once: Set[tuple] = set()
+        self.max_tracked_searches = max_tracked_searches
+        #: successful searches whose key could not be admitted to the
+        #: (full) succeeded-once index — the explicit overflow policy
+        self.tracked_search_overflow = 0
+        #: recorded monotonic-searchability violations; capped at
+        #: ``max_violation_records`` in streaming mode (first-K kept)
         self.violations: List[CompletedOp] = []
+        #: exact violation counter (== len(violations) in list mode)
+        self.violations_count = 0
+        self.max_violation_records = max_violation_records
         #: truth sampled when the terminal peer *answered* (the plane
         #: records it per op); replies transit for a round, and churn in
         #: that round must not turn a correct answer into a "misroute"
         self._answer_truth: Dict[int, Optional[int]] = {}
+        # -- deadline wheel: deadline_round -> [op_id] + heap of rounds --
+        self._wheel: Dict[int, List[int]] = {}
+        self._wheel_rounds: List[int] = []
+        # -- running latency/hop aggregates (exact, both modes) ----------
+        self._lat_sum = 0
+        self._lat_max = 0
+        self._wire_sum = 0
+        self._wire_max = 0
+        self._hops_sum = 0
+        self._hops_count = 0
+        self._hops_max = 0
+        #: list-mode memo of the sorted routed-latency sample, rebuilt
+        #: lazily and invalidated by _complete (repeated summary() calls
+        #: must not re-sort the full completion list each time)
+        self._sorted_lat_cache: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # ledger
     # ------------------------------------------------------------------
     def register(self, issued: IssuedOp) -> None:
-        """Track a newly injected operation."""
+        """Track a newly injected operation (bucketed on the wheel)."""
         if issued.op_id in self.outstanding:
             raise ValueError(f"duplicate op id {issued.op_id}")
         self.outstanding[issued.op_id] = issued
+        bucket = self._wheel.get(issued.deadline)
+        if bucket is None:
+            self._wheel[issued.deadline] = [issued.op_id]
+            heapq.heappush(self._wheel_rounds, issued.deadline)
+        else:
+            bucket.append(issued.op_id)
+
+    def register_batch(self, batch: Sequence[IssuedOp]) -> None:
+        """Bulk :meth:`register`: one ledger/wheel pass for a whole
+        round of arrivals (they typically share one deadline bucket)."""
+        outstanding = self.outstanding
+        wheel = self._wheel
+        for issued in batch:
+            if issued.op_id in outstanding:
+                raise ValueError(f"duplicate op id {issued.op_id}")
+            outstanding[issued.op_id] = issued
+            bucket = wheel.get(issued.deadline)
+            if bucket is None:
+                wheel[issued.deadline] = [issued.op_id]
+                heapq.heappush(self._wheel_rounds, issued.deadline)
+            else:
+                bucket.append(issued.op_id)
 
     def outstanding_count(self) -> int:
         """Operations in flight (closed-loop generators throttle on this)."""
@@ -216,7 +345,11 @@ class SLOCollector:
         self._answer_truth[op_id] = truth
 
     def on_reply(self, reply: LookupReply, round_no: int) -> None:
-        """Record a reply consumed by its origin peer during ``round_no``."""
+        """Record a reply consumed by its origin peer during ``round_no``.
+
+        The wheel entry is *not* touched: the op unlinks lazily when its
+        deadline bucket drains (the popped id is no longer outstanding).
+        """
         issued = self.outstanding.pop(reply.op_id, None)
         if issued is None:
             self.late_replies += 1
@@ -239,12 +372,24 @@ class SLOCollector:
         self._complete(issued, round_no, OUT_ORIGIN_DEAD, None)
 
     def expire(self, round_no: int) -> int:
-        """Time out every outstanding op whose deadline has passed."""
-        due = [op for op in self.outstanding.values() if op.deadline <= round_no]
-        for issued in due:
-            del self.outstanding[issued.op_id]
-            self._complete(issued, round_no, OUT_TIMEOUT, None)
-        return len(due)
+        """Time out every outstanding op whose deadline has passed.
+
+        Pops the due deadline buckets — O(due) per sweep, never a scan
+        of all outstanding ops.  Ops already completed (reply consumed,
+        possibly in this very round) were unlinked lazily and are
+        skipped; an empty or fully-unlinked bucket costs one pop.
+        """
+        expired = 0
+        rounds = self._wheel_rounds
+        while rounds and rounds[0] <= round_no:
+            due_round = heapq.heappop(rounds)
+            for op_id in self._wheel.pop(due_round, ()):
+                issued = self.outstanding.pop(op_id, None)
+                if issued is None:
+                    continue  # answered before its deadline bucket drained
+                self._complete(issued, round_no, OUT_TIMEOUT, None)
+                expired += 1
+        return expired
 
     def _complete(
         self,
@@ -268,59 +413,123 @@ class SLOCollector:
             value=value,
             trace=trace,
         )
-        if self.sketches is not None and record.routed:
-            for sketch in self.sketches.values():
-                sketch.add(record.latency)
-        self.completed.append(record)
+        routed = record.outcome in ROUTED_OUTCOMES
+        self.completed_count += 1
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if routed:
+            latency = record.latency
+            self.routed_count += 1
+            self._lat_sum += latency
+            if latency > self._lat_max:
+                self._lat_max = latency
+            wire = record.wire_delay
+            self._wire_sum += wire
+            if wire > self._wire_max:
+                self._wire_max = wire
+            if self._p95 is not None:
+                self._p95.add(latency)
+            if self.sketches is not None:
+                for sketch in self.sketches.values():
+                    sketch.add(latency)
+        if hops is not None:
+            self._hops_sum += hops
+            self._hops_count += 1
+            if hops > self._hops_max:
+                self._hops_max = hops
+        if self.mode == MODE_LIST:
+            self.completed.append(record)
+            self._sorted_lat_cache = None
+        else:
+            # seeded reservoir (algorithm R): every completion has a
+            # k/count chance of being retained, independent of order
+            k = self.reservoir_size
+            if len(self.completed) < k:
+                self.completed.append(record)
+            else:
+                j = self._reservoir_rng.randrange(self.completed_count)
+                if j < k:
+                    self.completed[j] = record
         key = (issued.origin, issued.kid)
-        if record.routed:
-            self._succeeded_once.add(key)
+        if routed:
+            if key not in self._succeeded_once:
+                if len(self._succeeded_once) < self.max_tracked_searches:
+                    self._succeeded_once.add(key)
+                else:
+                    self.tracked_search_overflow += 1
         elif key in self._succeeded_once:
-            self.violations.append(record)
+            self.violations_count += 1
+            if (
+                self.mode == MODE_LIST
+                or len(self.violations) < self.max_violation_records
+            ):
+                self.violations.append(record)
 
     # ------------------------------------------------------------------
     # derived metrics
     # ------------------------------------------------------------------
     def routed_latencies(self) -> List[int]:
-        """Latencies (rounds) of successfully routed operations."""
+        """Latencies (rounds) of successfully routed operations.
+
+        List mode: every routed completion.  Streaming mode: the routed
+        slice of the reservoir *sample* (callers needing exact
+        aggregates at scale should use :meth:`summary`).
+        """
         return [c.latency for c in self.completed if c.routed]
 
+    def _sorted_routed_latencies(self) -> List[int]:
+        """List-mode memo of the sorted routed latencies (percentiles)."""
+        cached = self._sorted_lat_cache
+        if cached is None:
+            cached = sorted(c.latency for c in self.completed if c.routed)
+            self._sorted_lat_cache = cached
+        return cached
+
     def traced(self) -> List[CompletedOp]:
-        """Completions carrying a causal hop trace (sampled ops)."""
+        """Completions carrying a causal hop trace (sampled ops).
+
+        Streaming mode surfaces only the traces still resident in the
+        reservoir sample.
+        """
         return [c for c in self.completed if c.trace is not None]
 
     def success_rate(self) -> float:
         """Fraction of completed ops that reached the true owner."""
-        if not self.completed:
+        if not self.completed_count:
             return 1.0
-        return sum(1 for c in self.completed if c.routed) / len(self.completed)
+        return self.routed_count / self.completed_count
 
     def summary(self) -> dict:
-        """Flat metrics dict (stable keys, used by tests and benches)."""
-        lats = self.routed_latencies()
-        hops = [c.hops for c in self.completed if c.hops is not None]
+        """Flat metrics dict (stable keys, used by tests and benches).
+
+        Every counter key (``issued`` / ``completed`` / ``outstanding``
+        / ``success_rate`` / ``violations`` / ``late_replies`` /
+        ``outcomes`` / means and maxima) is exact in both modes; in
+        streaming mode ``latency_p95`` is the P² estimate (exact until
+        five samples) instead of the nearest-rank percentile.
+        """
         out = {
-            "issued": len(self.completed) + len(self.outstanding),
-            "completed": len(self.completed),
+            "issued": self.completed_count + len(self.outstanding),
+            "completed": self.completed_count,
             "outstanding": len(self.outstanding),
             "success_rate": round(self.success_rate(), 4),
-            "violations": len(self.violations),
+            "violations": self.violations_count,
             "late_replies": self.late_replies,
             "outcomes": dict(sorted(self.outcomes.items())),
         }
-        if lats:
-            out["latency_mean"] = round(sum(lats) / len(lats), 2)
-            out["latency_p95"] = percentile(lats, 95)
-            out["latency_max"] = max(lats)
+        if self.routed_count:
+            out["latency_mean"] = round(self._lat_sum / self.routed_count, 2)
+            if self.mode == MODE_LIST:
+                out["latency_p95"] = percentile(self._sorted_routed_latencies(), 95)
+            else:
+                out["latency_p95"] = round(self._p95.value(), 2)
+            out["latency_max"] = self._lat_max
             # wire-delay component: rounds spent on slow links beyond
             # the one-round-per-hop baseline (0 under unit delivery)
-            wire = [c.wire_delay for c in self.completed if c.routed]
-            out["wire_delay_mean"] = round(sum(wire) / len(wire), 2)
-            out["wire_delay_max"] = max(wire)
-        if hops:
-            out["hops_mean"] = round(sum(hops) / len(hops), 2)
-            out["hops_max"] = max(hops)
+            out["wire_delay_mean"] = round(self._wire_sum / self.routed_count, 2)
+            out["wire_delay_max"] = self._wire_max
+        if self._hops_count:
+            out["hops_mean"] = round(self._hops_sum / self._hops_count, 2)
+            out["hops_max"] = self._hops_max
         if self.sketches:
             # opt-in streaming estimates, keyed separately so default
             # summaries (and every baseline built on them) are unchanged
