@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.chord.routing import merge_successor_list, prune_successor_list
 from repro.idspace.ring import IdSpace
 from repro.netsim.messages import Envelope
 from repro.netsim.scheduler import RoundContext
@@ -269,12 +270,9 @@ class ChordPeer:
     def _on_successor_list(self, msg: SuccessorListIs) -> None:
         if self.successor is None:
             return
-        merged = [self.successor] + [v for v in msg.values if v != self.id]
-        deduped: List[int] = []
-        for v in merged:
-            if v not in deduped:
-                deduped.append(v)
-        self.successor_list = deduped[: self.successor_list_len]
+        self.successor_list = merge_successor_list(
+            self.successor, msg.values, me=self.id, length=self.successor_list_len
+        )
 
     def _on_answer(self, msg: FindSuccessorAnswer, ctx: RoundContext) -> None:
         state = self._lookups.pop(msg.token, None)
@@ -317,7 +315,7 @@ class ChordPeer:
     def _purge_failed(self, ctx: RoundContext) -> None:
         if self.predecessor is not None and not ctx.actor_exists(self.predecessor):
             self.predecessor = None
-        self.successor_list = [v for v in self.successor_list if ctx.actor_exists(v)]
+        self.successor_list = prune_successor_list(self.successor_list, ctx.actor_exists)
         for v in list(self.fingers.known()):
             if not ctx.actor_exists(v):
                 self.fingers.drop_value(v)

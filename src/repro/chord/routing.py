@@ -149,3 +149,56 @@ def route_greedy(
     if current == owner:  # reached on exactly the max_hops-th hop
         return RouteResult(owner, len(path) - 1, tuple(path))
     return fail(ROUTE_HOP_LIMIT, f"no convergence after {max_hops} hops routing {key}")
+
+
+def merge_successor_list(
+    successor: int,
+    advertised: Sequence[int],
+    me: int,
+    length: int,
+) -> List[int]:
+    """Merge a successor's advertised list into a fresh successor list.
+
+    The maintenance pattern every successor-list holder needs (shared by
+    the Chord baseline's ``_on_successor_list`` and the resilient
+    traffic plane's redundancy docs): prepend the current believed
+    successor, append the advertised entries, drop ``me`` (a peer never
+    backs itself up with itself), dedup keeping the *first* occurrence —
+    closer entries shadow farther duplicates — and truncate to
+    ``length``.
+
+    >>> from repro.chord.routing import merge_successor_list
+    >>> merge_successor_list(20, (30, 40, 50), me=10, length=3)
+    [20, 30, 40]
+
+    Duplicate ids collapse onto their first (closest) position, and the
+    merging peer's own id is ignored wherever it appears:
+
+    >>> merge_successor_list(20, (20, 10, 30, 30, 40), me=10, length=4)
+    [20, 30, 40]
+    """
+    merged = [successor] + [v for v in advertised if v != me]
+    deduped: List[int] = []
+    for v in merged:
+        if v not in deduped:
+            deduped.append(v)
+    return deduped[:length]
+
+
+def prune_successor_list(
+    entries: Sequence[int],
+    alive: Callable[[int], bool],
+) -> List[int]:
+    """Drop dead entries from a successor list, preserving order.
+
+    ``alive`` is whatever liveness evidence the caller has (the Chord
+    baseline passes ``ctx.actor_exists``).  Relative order is kept so
+    the head of the pruned list remains the closest live backup —
+    exactly the entry ``_purge_failed`` promotes when the primary
+    successor dies.
+
+    >>> from repro.chord.routing import prune_successor_list
+    >>> prune_successor_list([20, 30, 40], {20, 40}.__contains__)
+    [20, 40]
+    """
+    return [v for v in entries if alive(v)]

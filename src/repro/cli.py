@@ -121,6 +121,26 @@ def _build_parser() -> argparse.ArgumentParser:
                 "bounded streaming collector (exact counters, P2 p95, "
                 "reservoir sample) for very large campaigns",
             )
+            p.add_argument(
+                "--max-attempts", type=int, default=1, metavar="K",
+                help="resilient request plane: attempt budget per op "
+                "(1 = retries off; retries use seeded exponential "
+                "backoff with jitter)",
+            )
+            p.add_argument(
+                "--retry-backoff", type=int, default=4, metavar="B",
+                help="base backoff in rounds between attempts (default 4)",
+            )
+            p.add_argument(
+                "--hedge-after", type=int, default=None, metavar="H",
+                help="launch a duplicate probe for an unanswered op "
+                "after H rounds; first reply wins (off by default)",
+            )
+            p.add_argument(
+                "--route-redundancy", type=int, default=1, metavar="R",
+                help="candidate successors considered per forwarding "
+                "hop; suspected-dead hops are demoted (default 1)",
+            )
     scen = sub.add_parser(
         "scenario",
         help="declarative fault/churn campaigns (see docs/SCENARIOS.md)",
@@ -453,6 +473,10 @@ def _dispatch(args: argparse.Namespace) -> List[str]:
             telemetry=getattr(args, "telemetry", False),
             sketch_quantiles=getattr(args, "sketch_quantiles", None),
             collector_mode=getattr(args, "collector", "list"),
+            max_attempts=getattr(args, "max_attempts", 1),
+            retry_backoff=getattr(args, "retry_backoff", 4),
+            hedge_after=getattr(args, "hedge_after", None),
+            route_redundancy=getattr(args, "route_redundancy", 1),
         )))
     return out
 

@@ -121,6 +121,10 @@ def measure_one(
     telemetry: object = None,
     sketch_quantiles: Optional[Sequence[float]] = None,
     collector_mode: str = "list",
+    max_attempts: int = 1,
+    retry_backoff: int = 4,
+    hedge_after: Optional[int] = None,
+    route_redundancy: int = 1,
 ) -> TrafficChurnRun:
     """One full churn-recovery traffic run at size ``n``.
 
@@ -132,6 +136,10 @@ def measure_one(
     ``"streaming"`` bounds collector memory for very large campaigns:
     counter totals stay exact, but the per-bucket recovery profile and
     the histogram are then computed over the reservoir *sample*.
+    ``max_attempts``/``retry_backoff``/``hedge_after``/
+    ``route_redundancy`` opt the run into the resilient request plane
+    (see :class:`TrafficPlane`); the defaults keep the run bit-for-bit
+    identical to the pre-resilience behavior.
     """
     seq = SeedSequence(seed).child("traffic", n=n)
     build_seed = seq.child("build").seed()
@@ -148,6 +156,11 @@ def measure_one(
         default_deadline=deadline,
         sketch_quantiles=sketch_quantiles,
         collector_mode=collector_mode,
+        max_attempts=max_attempts,
+        retry_backoff=retry_backoff,
+        hedge_after=hedge_after,
+        route_redundancy=route_redundancy,
+        retry_seed=seq.child("retry").seed(),
     )
     rate = rate if rate is not None else max(2.0, n / 64)
     WorkloadGenerator(
@@ -228,13 +241,18 @@ def run_traffic(
     telemetry: bool = False,
     sketch_quantiles: Optional[Sequence[float]] = None,
     collector_mode: str = "list",
+    max_attempts: int = 1,
+    retry_backoff: int = 4,
+    hedge_after: Optional[int] = None,
+    route_redundancy: int = 1,
 ) -> List[TrafficChurnRun]:
     """The churn-recovery traffic sweep (one run per size per seed).
 
     ``telemetry=True`` attaches a fresh recorder to every run and
     carries its census on the run record (observational only);
-    ``sketch_quantiles``/``collector_mode`` pass through to
-    :func:`measure_one`.
+    ``sketch_quantiles``/``collector_mode`` and the resilience knobs
+    (``max_attempts``/``retry_backoff``/``hedge_after``/
+    ``route_redundancy``) pass through to :func:`measure_one`.
     """
     runs: List[TrafficChurnRun] = []
     for n in sizes:
@@ -247,6 +265,10 @@ def run_traffic(
                     telemetry=telemetry,
                     sketch_quantiles=sketch_quantiles,
                     collector_mode=collector_mode,
+                    max_attempts=max_attempts,
+                    retry_backoff=retry_backoff,
+                    hedge_after=hedge_after,
+                    route_redundancy=route_redundancy,
                 )
             )
     return runs
@@ -279,6 +301,14 @@ def format_traffic(runs: Sequence[TrafficChurnRun]) -> str:
         lines.append(f"{'latency histogram (rounds)':>28} {hist}")
         outcomes = "  ".join(f"{k}:{v}" for k, v in t["outcomes"].items())
         lines.append(f"{'outcomes':>28} {outcomes}")
+        if "retries" in t:
+            lines.append(
+                f"{'resilience':>28} retries:{t['retries']}  "
+                f"hedges:{t['hedges_issued']} (wins:{t['hedge_wins']})  "
+                f"first-try ok:{t['first_attempt_success']}  "
+                f"eventual ok:{t['eventual_success']}  "
+                f"stale:{t['stale_replies']}"
+            )
         sketch = "  ".join(
             f"{k}:{v}" for k, v in sorted(t.items()) if k.endswith("_sketch")
         )
@@ -341,6 +371,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="list",
         help="completion retention mode (streaming bounds memory)",
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=1,
+        help="attempt budget per op (1 = retries off, the default)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=int, default=4,
+        help="base backoff in rounds between attempts (seeded jitter)",
+    )
+    parser.add_argument(
+        "--hedge-after", type=int, default=None,
+        help="launch a duplicate probe after this many rounds (off by default)",
+    )
+    parser.add_argument(
+        "--route-redundancy", type=int, default=1,
+        help="candidate successors considered per forwarding hop",
+    )
     args = parser.parse_args(argv)
     runs = run_traffic(
         tuple(args.sizes),
@@ -348,6 +394,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.root_seed,
         sketch_quantiles=args.sketch_quantiles,
         collector_mode=args.collector,
+        max_attempts=args.max_attempts,
+        retry_backoff=args.retry_backoff,
+        hedge_after=args.hedge_after,
+        route_redundancy=args.route_redundancy,
     )
     text = format_traffic(runs)
     print(text)

@@ -38,6 +38,8 @@ from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.core.network import ReChordNetwork
 from repro.graphs.digraph import EdgeKind
+from repro.netsim.messages import envelope_canon
+from repro.netsim.timemodel import stable_u64
 from repro.workloads.churn import ChurnSchedule, apply_event
 from repro.workloads.initial import random_peer_ids
 
@@ -251,13 +253,62 @@ def partition(
         ctx.count("sever")
 
 
+@event_kind("gray_failure")
+def gray_failure(
+    ctx: EventContext,
+    rng: random.Random,
+    fraction: float = 0.25,
+    drop_prob: float = 0.3,
+    seed: Optional[int] = None,
+) -> None:
+    """A seeded subset of peers turns *gray*: alive, but lossy.
+
+    Gray failure is the partial, probabilistic sibling of the partition
+    — the failing NIC or overloaded host that still answers often enough
+    to evade the liveness oracle.  A seeded ``fraction`` of peers is
+    marked gray; every message touching a gray endpoint is dropped with
+    probability ``drop_prob``, keyed on the message *content* via
+    :func:`repro.netsim.timemodel.stable_u64` — a pure function of the
+    envelope, so both kernels (and replays) drop exactly the same
+    messages and campaigns stay bit-for-bit reproducible.
+
+    Self-addressed envelopes are exempt (workload injections post
+    origin-to-origin and model the local request arrival, not a network
+    link).  The resilient request plane's retries are the intended
+    countermeasure: each relaunch is a *different* message (new attempt
+    stamp), so it redraws its drop coin.  Clear with ``heal``.
+    """
+    if seed is None:
+        seed = rng.randrange(2**63)
+    ids = ctx.net.peer_ids
+    size = min(max(1, int(len(ids) * float(fraction))), max(0, len(ids) - 2))
+    gray = frozenset(rng.sample(ids, size)) if size > 0 else frozenset()
+    threshold = min(int(float(drop_prob) * 2**64), 2**64 - 1)
+
+    def drop(env, _gray=gray, _seed=int(seed), _thr=threshold) -> bool:
+        if env.sender == env.target:
+            return False
+        if env.sender not in _gray and env.target not in _gray:
+            return False
+        return (
+            stable_u64("gray", _seed, env.sender, env.target, envelope_canon(env))
+            < _thr
+        )
+
+    ctx.net.scheduler.set_drop_filter(drop)
+    ctx.memory["gray"] = {"peers": gray, "seed": int(seed), "drop_prob": float(drop_prob)}
+    ctx.count("gray_failure")
+    ctx.count("gray_peer", len(gray))
+
+
 @event_kind("heal")
 def heal(
     ctx: EventContext,
     rng: random.Random,
     bridges: int = 1,
 ) -> None:
-    """Lift the partition; re-bridge severed sides with unmarked edges.
+    """Lift the partition (or gray-failure loss); re-bridge severed
+    sides with unmarked edges.
 
     Clearing the drop filter resumes cross-cut flows.  If the partition
     was severed, the sides are structurally disjoint overlays, so
@@ -266,6 +317,7 @@ def heal(
     concession, exactly as in the two-rings adversarial start).
     """
     ctx.net.scheduler.set_drop_filter(None)
+    ctx.memory.pop("gray", None)
     ctx.count("heal")
     cut = ctx.memory.pop("partition", None)
     if cut is None or not cut["severed"]:

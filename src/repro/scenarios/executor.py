@@ -93,6 +93,14 @@ class ScenarioReport:
     #: then ("recovery", total).  Drops are behavior-affecting, so the
     #: totals are engine-invariant and participate in comparison.
     dropped_by_window: Tuple[Tuple[str, int], ...] = ()
+    #: survival metric: per event window, ``(label, ops issued during
+    #: the window, ops that eventually reached the true owner)`` —
+    #: "eventually" includes completions that landed after the window
+    #: closed (e.g. a retry that succeeded during recovery), which is
+    #: exactly the mass-failure question: do ops issued *during* the
+    #: failure window still succeed once the overlay heals?  Windows
+    #: with no issued ops are omitted.  Engine-invariant, compared.
+    survival_by_window: Tuple[Tuple[str, int, int], ...] = ()
     activity: Dict[str, int] = field(compare=False, default_factory=dict)
     #: per-window telemetry segments + final census when the campaign
     #: ran with a recorder attached (None otherwise); wall-clock data
@@ -118,6 +126,7 @@ class ScenarioReport:
             "rule_fires": self.rule_fires,
             "config_digest": self.config_digest,
             "dropped_by_window": [list(w) for w in self.dropped_by_window],
+            "survival_by_window": [list(w) for w in self.survival_by_window],
             "activity": dict(self.activity),
             "telemetry": self.telemetry,
         }
@@ -244,6 +253,13 @@ def run_scenario(
             store=store,
             default_deadline=t.deadline,
             sketch_quantiles=t.sketch_quantiles,
+            max_attempts=t.max_attempts,
+            retry_backoff=t.retry_backoff,
+            hedge_after=t.hedge_after,
+            route_redundancy=t.route_redundancy,
+            # the jitter stream derives from the campaign seed, so two
+            # same-seed runs (on any kernel) retry in lockstep
+            retry_seed=seq.child("retry").seed(),
         )
         # no explicit per-op deadline: ops fall through to the plane's
         # default, which scales with the installed delivery model's
@@ -285,6 +301,7 @@ def run_scenario(
     window_order: List[str] = [window]
     window_drops: Dict[str, int] = {window: 0}
     window_rounds: Dict[str, int] = {window: 0}
+    window_opens: Dict[str, int] = {window: net.round_no}
     tel_segments: List[dict] = []
     tel_snap = [0, 0, 0]  # recorder (rounds, sent, dropped) at window open
 
@@ -312,6 +329,7 @@ def run_scenario(
             window_order.append(label)
             window_drops[label] = 0
             window_rounds[label] = 0
+            window_opens[label] = net.round_no
 
     def run_one_round() -> None:
         if plane is not None:
@@ -363,6 +381,27 @@ def run_scenario(
     if samples[-1].round != net.round_no:
         samples.append(_sample(net, plane))
 
+    # ---- survival: eventual success of ops issued per window --------
+    # attribute every completion to the window its *issue* round fell
+    # in; a retry completing during recovery still credits the failure
+    # window it was issued in — the resilience gate's survival floor
+    survival: Tuple[Tuple[str, int, int], ...] = ()
+    if plane is not None and plane.collector.mode == "list":
+        from bisect import bisect_right as _bisect_right
+
+        labels = [w for w in window_order if window_rounds.get(w)]
+        opens = [window_opens[w] for w in labels]
+        counts = {w: [0, 0] for w in labels}
+        for comp in plane.collector.completed:
+            i = _bisect_right(opens, comp.issue_round) - 1
+            tally = counts[labels[i if i >= 0 else 0]]
+            tally[0] += 1
+            if comp.routed:
+                tally[1] += 1
+        survival = tuple(
+            (w, counts[w][0], counts[w][1]) for w in labels if counts[w][0]
+        )
+
     digest = hashlib.sha256(repr(net.fingerprint()).encode()).hexdigest()[:16]
     activity: Dict[str, int] = {}
     if net.incremental:
@@ -406,6 +445,7 @@ def run_scenario(
         dropped_by_window=tuple(
             (w, window_drops[w]) for w in window_order if window_rounds[w]
         ),
+        survival_by_window=survival,
         activity=activity,
         telemetry=tel_out,
     )

@@ -211,6 +211,94 @@ def _rolling_restart(n: int, seed: int) -> ScenarioSpec:
 
 
 # ----------------------------------------------------------------------
+# resilience: mass failure and gray failure under the retrying plane
+# ----------------------------------------------------------------------
+@scenario(
+    "mass-failure",
+    "half the network crashes at once; the retrying request plane must carry traffic through",
+)
+def _mass_failure(n: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="mass-failure",
+        n=n,
+        seed=seed,
+        start="ideal",
+        rounds=36,
+        events=(
+            EventSpec(
+                at=8,
+                kind="crash_wave",
+                params={"fraction": 0.5, "targeting": "random"},
+            ),
+        ),
+        traffic=TrafficSpec(
+            rate=2.0,
+            op_mix=((OP_LOOKUP, 1.0),),
+            popularity="zipf",
+            # short per-attempt deadlines so the attempt budget actually
+            # cycles inside the adversity window; the survival metric
+            # (ScenarioReport.survival_by_window) scores the ops issued
+            # *during* the outage by eventual success.  The exponential
+            # backoff makes the budget deep enough that the last
+            # attempts land after the overlay has re-stabilized (in-band
+            # failure replies burn early attempts within a few rounds)
+            deadline=12,
+            max_attempts=6,
+            retry_backoff=4,
+            route_redundancy=2,
+        ),
+        description=(
+            "The mass-failure survival drill: 50% of the peers crash in "
+            "one round mid-traffic.  First attempts issued during the "
+            "window die on dead hops; seeded retries with backoff plus "
+            "r=2 redundant forwarding must route them eventually, and "
+            "the per-window survival census records the fraction that "
+            "made it (Theorem 4.2 pushed to the regime successor lists "
+            "and retries exist for)."
+        ),
+    )
+
+
+@scenario(
+    "gray-failure",
+    "a lossy gray peer subset drops ~30% of its messages until the links heal",
+)
+def _gray_failure(n: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="gray-failure",
+        n=n,
+        seed=seed,
+        start="ideal",
+        rounds=36,
+        events=(
+            EventSpec(
+                at=6,
+                kind="gray_failure",
+                params={"fraction": 0.25, "drop_prob": 0.3},
+            ),
+            EventSpec(at=26, kind="heal", params={}),
+        ),
+        traffic=TrafficSpec(
+            rate=2.0,
+            op_mix=((OP_LOOKUP, 1.0),),
+            popularity="zipf",
+            deadline=12,
+            max_attempts=3,
+            retry_backoff=3,
+            hedge_after=6,
+        ),
+        description=(
+            "Gray failure: a seeded quarter of the peers stays alive but "
+            "drops ~30% of its messages (content-keyed, so both kernels "
+            "drop identically).  The liveness oracle never notices — only "
+            "the request plane's deadlines do.  Retries redraw the drop "
+            "coin with a fresh attempt stamp and hedged duplicates race "
+            "the lossy path until the links heal."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
 # partitions
 # ----------------------------------------------------------------------
 @scenario(

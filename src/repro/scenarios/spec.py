@@ -94,6 +94,15 @@ class TrafficSpec:
     #: estimates land under separate ``latency_p*_sketch`` summary keys,
     #: so default reports (and their baselines) are unchanged
     sketch_quantiles: Optional[Tuple[float, ...]] = None
+    #: resilient request plane (see TrafficPlane): attempts budget per
+    #: op (1 = retries off), base backoff in rounds, hedge delay in
+    #: rounds (None = hedging off), and redundant-successor fan
+    #: (1 = single-choice forwarding).  All defaults leave the plane
+    #: bit-for-bit identical to the pre-resilience behavior.
+    max_attempts: int = 1
+    retry_backoff: int = 4
+    hedge_after: Optional[int] = None
+    route_redundancy: int = 1
 
     def needs_store(self) -> bool:
         """Whether the mix issues KV operations."""
@@ -113,6 +122,10 @@ class TrafficSpec:
             "sketch_quantiles": (
                 list(self.sketch_quantiles) if self.sketch_quantiles else None
             ),
+            "max_attempts": self.max_attempts,
+            "retry_backoff": self.retry_backoff,
+            "hedge_after": self.hedge_after,
+            "route_redundancy": self.route_redundancy,
         }
 
     @staticmethod

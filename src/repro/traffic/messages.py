@@ -65,6 +65,13 @@ class LookupRequest(AppPayload):
     hops: int = 0
     path: Tuple[int, ...] = ()
     value: Any = None
+    #: 1-based attempt number of the resilient request plane; retries
+    #: relaunch the op with attempt 2, 3, ... so replies can be matched
+    #: to the attempt that produced them (stale-failure suppression)
+    attempt: int = 1
+    #: True for the duplicate probe a hedged op launches after its
+    #: hedge delay (first reply wins, the loser is suppressed)
+    hedge: bool = False
     #: causal hop trace of a telemetry-sampled op.  ``compare=False``
     #: keeps it out of equality/hash AND it is excluded from
     #: ``canonical()``: a traced run is byte-identical to an untraced
@@ -76,8 +83,14 @@ class LookupRequest(AppPayload):
         return replace(self, hops=self.hops + 1, path=self.path + (next_hop,))
 
     def canonical(self) -> tuple:
-        """Sortable identity tuple for fingerprints."""
-        return (
+        """Sortable identity tuple for fingerprints.
+
+        The resilience fields are appended only when non-default: a run
+        with the resilience plane disabled produces byte-identical
+        tuples — and therefore identical configuration fingerprints and
+        baseline digests — to every run recorded before retries existed.
+        """
+        base = (
             "traffic-req",
             self.op,
             self.op_id,
@@ -88,6 +101,9 @@ class LookupRequest(AppPayload):
             self.path,
             repr(self.value),
         )
+        if self.attempt != 1 or self.hedge:
+            return base + (self.attempt, self.hedge)
+        return base
 
     def refs(self) -> tuple:
         """Traffic carries peer addresses, not node refs (see module doc)."""
@@ -114,12 +130,21 @@ class LookupReply(AppPayload):
     owner: int
     hops: int
     value: Any = None
+    #: attempt number echoed from the request that produced this reply
+    attempt: int = 1
+    #: True when this reply answers a hedged duplicate probe
+    hedge: bool = False
     #: completed hop trace of a sampled op (see LookupRequest.trace)
     trace: Optional[TraceContext] = field(compare=False, default=None)
 
     def canonical(self) -> tuple:
-        """Sortable identity tuple for fingerprints."""
-        return (
+        """Sortable identity tuple for fingerprints.
+
+        As on :meth:`LookupRequest.canonical`, the resilience fields are
+        appended only when non-default so resilience-off runs keep their
+        historical fingerprints bit-for-bit.
+        """
+        base = (
             "traffic-rep",
             self.op,
             self.op_id,
@@ -130,6 +155,9 @@ class LookupReply(AppPayload):
             self.hops,
             repr(self.value),
         )
+        if self.attempt != 1 or self.hedge:
+            return base + (self.attempt, self.hedge)
+        return base
 
     def refs(self) -> tuple:
         """Traffic carries peer addresses, not node refs (see module doc)."""

@@ -44,6 +44,7 @@ seen-set) or dead-end — all surfaced as distinct outcomes by the
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left, bisect_right
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -53,6 +54,7 @@ from repro.telemetry.tracing import TraceContext
 from repro.idspace.keys import key_id
 from repro.netsim.messages import Envelope
 from repro.netsim.scheduler import RoundContext
+from repro.netsim.timemodel import stable_u64
 from repro.traffic.messages import (
     OP_GET,
     OP_LOOKUP,
@@ -107,7 +109,20 @@ class TrafficPlane:
         collector_mode: str = MODE_LIST,
         sketch_quantiles: Optional[Sequence[float]] = None,
         reservoir_size: int = 1024,
+        max_attempts: int = 1,
+        retry_backoff: int = 4,
+        hedge_after: Optional[int] = None,
+        route_redundancy: int = 1,
+        retry_seed: int = 0,
     ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if retry_backoff < 1:
+            raise ValueError("retry_backoff must be >= 1")
+        if hedge_after is not None and hedge_after < 1:
+            raise ValueError("hedge_after must be >= 1 (or None)")
+        if route_redundancy < 1:
+            raise ValueError("route_redundancy must be >= 1")
         self.net = net
         self.store = store
         self.collector = SLOCollector(
@@ -121,6 +136,57 @@ class TrafficPlane:
         self.default_deadline = default_deadline
         self._default_ttl = default_ttl
         self._next_op_id = 0
+        # -- resilient request plane (see "Resilience" in ARCHITECTURE) --
+        #: attempts budget per op (1 = retries off, today's behavior)
+        self.max_attempts = max_attempts
+        #: base backoff in rounds: attempt k relaunches after a delay in
+        #: [base*2^(k-1), base*2^k) with seeded jitter (stable_u64)
+        self.retry_backoff = retry_backoff
+        #: rounds before a still-outstanding attempt launches a hedged
+        #: duplicate probe (None = hedging off)
+        self.hedge_after = hedge_after
+        #: r best circular successors considered per forwarding decision
+        #: (1 = today's single memoized-bisect choice, bit-for-bit)
+        self.route_redundancy = route_redundancy
+        #: seeds the per-(op, attempt) jitter stream
+        self.retry_seed = retry_seed
+        self.resilience_enabled = (
+            max_attempts > 1 or hedge_after is not None or route_redundancy > 1
+        )
+        #: opt-in schedule log for tests: set to a list to record every
+        #: ("retry"|"hedge", op_id, attempt, round) decision in order
+        self.attempt_log: Optional[List[Tuple[str, int, int, int]]] = None
+        self._track_requests = max_attempts > 1 or hedge_after is not None
+        #: untraced request template per outstanding op (relaunch source)
+        self._op_request: Dict[int, LookupRequest] = {}
+        # launch wheels (mirror the collector's deadline wheel shape):
+        # launch_round -> [(op_id, attempt)] plus a heap of rounds
+        self._retry_wheel: Dict[int, List[Tuple[int, int]]] = {}
+        self._retry_rounds: List[int] = []
+        self._hedge_wheel: Dict[int, List[Tuple[int, int]]] = {}
+        self._hedge_rounds: List[int] = []
+        #: rounds a suspicion stays in force unless re-armed: long
+        #: enough to demote a dead hop for a whole retry cycle, short
+        #: enough that a stale suspicion of the *responsible* successor
+        #: (acquired during an outage, never refuted because no traffic
+        #: lands on a demoted peer) cannot divert lookups forever after
+        #: the overlay heals
+        self.suspect_lease = 2 * default_deadline
+        #: suspicion ledger (route_redundancy > 1 only): peer id ->
+        #: lease expiry round; armed on every deadline expiry through
+        #: that first hop, refuted early by any delivery at the peer,
+        #: lapsing on its own otherwise (suspicion is a lease, not a
+        #: verdict)
+        self._suspects: Dict[int, int] = {}
+        #: op_id -> first forwarding hop taken at the origin (suspicion)
+        self._first_hop: Dict[int, int] = {}
+        if self.resilience_enabled:
+            self.collector.resilience_enabled = True
+            self.collector.completion_observer = self._on_complete
+            if max_attempts > 1:
+                self.collector.retry_handler = self._maybe_retry
+            if route_redundancy > 1:
+                self.collector.timeout_observer = self._on_expiry
         #: sorted live ids cached per membership version (one completion
         #: classification per op must not pay an O(n log n) sort)
         self._live_cache: tuple = (-1, [])
@@ -220,15 +286,17 @@ class TrafficPlane:
         op_id = self._next_op_id
         self._next_op_id += 1
         issue_round = self.net.round_no
+        span = deadline if deadline is not None else self.deadline_for()
         issued = IssuedOp(
             op_id=op_id,
             op=op,
             origin=origin,
             kid=kid,
             issue_round=issue_round,
-            deadline=issue_round + (deadline if deadline is not None else self.deadline_for()),
+            deadline=issue_round + span,
+            deadline_span=span,
         )
-        request = LookupRequest(
+        template = LookupRequest(
             op=op,
             op_id=op_id,
             origin=origin,
@@ -238,6 +306,7 @@ class TrafficPlane:
             path=(origin,),
             value=value,
         )
+        request = template
         # causal tracing: sampled ops carry a TraceContext on the request
         # (outside payload equality — see messages.LookupRequest.trace)
         tel = self.net.telemetry
@@ -248,6 +317,16 @@ class TrafficPlane:
             )
         if self.net.scheduler.post(Envelope(origin, origin, request)):
             self.collector.register(issued)
+            if self._track_requests:
+                self._op_request[op_id] = template
+                if self.hedge_after is not None:
+                    self._push_launch(
+                        self._hedge_wheel,
+                        self._hedge_rounds,
+                        issue_round + self.hedge_after,
+                        op_id,
+                        1,
+                    )
         else:
             self.collector.fail_unissued(issued, issue_round)
         return op_id
@@ -278,13 +357,13 @@ class TrafficPlane:
             raise RuntimeError("KV traffic needs a store: TrafficPlane(net, store=...)")
         space = self.net.space
         issue_round = self.net.round_no
-        deadline_round = issue_round + (
-            deadline if deadline is not None else self.deadline_for()
-        )
+        span = deadline if deadline is not None else self.deadline_for()
+        deadline_round = issue_round + span
         ttl_val = ttl if ttl is not None else self.ttl_for()
         tel = self.net.telemetry
         op_id = self._next_op_id
         issued_ops: List[IssuedOp] = []
+        templates: List[LookupRequest] = []
         envelopes: List[Envelope] = []
         op_ids: List[int] = []
         for op, kid, origin, value in ops:
@@ -297,6 +376,7 @@ class TrafficPlane:
                     kid=kid,
                     issue_round=issue_round,
                     deadline=deadline_round,
+                    deadline_span=span,
                 )
             )
             request = LookupRequest(
@@ -309,6 +389,7 @@ class TrafficPlane:
                 path=(origin,),
                 value=value,
             )
+            templates.append(request)
             if tel is not None and tel.sampled(op_id):
                 request = replace(
                     request,
@@ -322,9 +403,19 @@ class TrafficPlane:
         self._next_op_id = op_id
         posted = self.net.scheduler.post_batch(envelopes)
         registered: List[IssuedOp] = []
-        for issued, ok in zip(issued_ops, posted):
+        for issued, template, ok in zip(issued_ops, templates, posted):
             if ok:
                 registered.append(issued)
+                if self._track_requests:
+                    self._op_request[issued.op_id] = template
+                    if self.hedge_after is not None:
+                        self._push_launch(
+                            self._hedge_wheel,
+                            self._hedge_rounds,
+                            issue_round + self.hedge_after,
+                            issued.op_id,
+                            1,
+                        )
             else:
                 self.collector.fail_unissued(issued, issue_round)
         self.collector.register_batch(registered)
@@ -346,10 +437,133 @@ class TrafficPlane:
         return self.issue(OP_GET, key, origin, **kw)
 
     # ------------------------------------------------------------------
+    # resilient request plane: retries, hedges, suspicion
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _push_launch(
+        wheel: Dict[int, List[Tuple[int, int]]],
+        rounds: List[int],
+        launch_round: int,
+        op_id: int,
+        attempt: int,
+    ) -> None:
+        bucket = wheel.get(launch_round)
+        if bucket is None:
+            wheel[launch_round] = [(op_id, attempt)]
+            heapq.heappush(rounds, launch_round)
+        else:
+            bucket.append((op_id, attempt))
+
+    def backoff_delay(self, op_id: int, attempt: int) -> int:
+        """Rounds attempt ``attempt + 1`` waits after attempt ``attempt``
+        failed: exponential base with seeded jitter.
+
+        The delay lies in ``[base * 2^(attempt-1), base * 2^attempt)``;
+        the jitter is drawn from the :func:`stable_u64` stream keyed on
+        ``(retry_seed, op_id, attempt)``, so identical seeds reproduce
+        identical schedules bit-for-bit on every platform, yet no two
+        ops thunder in lockstep.
+        """
+        base = self.retry_backoff * (1 << (attempt - 1))
+        return base + stable_u64("retry", self.retry_seed, op_id, attempt) % base
+
+    def _maybe_retry(self, issued: IssuedOp, round_no: int) -> Optional[IssuedOp]:
+        """Collector retry hook: re-register a failed op or decline.
+
+        Called on deadline expiry and on current-attempt failure
+        replies.  Returns the replacement :class:`IssuedOp` (fresh
+        deadline measured from the relaunch round) or None when the
+        attempts budget is spent.
+        """
+        if issued.attempt >= self.max_attempts:
+            return None
+        nxt = issued.attempt + 1
+        launch = round_no + self.backoff_delay(issued.op_id, issued.attempt)
+        span = issued.deadline_span if issued.deadline_span > 0 else self.deadline_for()
+        self._push_launch(self._retry_wheel, self._retry_rounds, launch, issued.op_id, nxt)
+        self.collector.retries += 1
+        if self.attempt_log is not None:
+            self.attempt_log.append(("retry", issued.op_id, nxt, launch))
+        return replace(issued, attempt=nxt, deadline=launch + span)
+
+    def _launch_due(self) -> None:
+        """Post every retry/hedge probe whose launch round has arrived.
+
+        Runs at the top of each traffic round, before generator
+        injections (older ops relaunch ahead of new arrivals).  Stale
+        launches — the op completed or was superseded during its backoff
+        — are skipped by checking the ledger's current attempt.
+        """
+        round_no = self.net.round_no
+        if self._suspects:
+            # lapse suspicion leases that were never re-armed: only live
+            # timeout evidence keeps a hop demoted
+            for pid in [p for p, exp in self._suspects.items() if exp <= round_no]:
+                del self._suspects[pid]
+        outstanding = self.collector.outstanding
+        rounds = self._retry_rounds
+        while rounds and rounds[0] <= round_no:
+            for op_id, attempt in self._retry_wheel.pop(heapq.heappop(rounds), ()):
+                issued = outstanding.get(op_id)
+                if issued is None or issued.attempt != attempt:
+                    continue  # completed (or superseded) during backoff
+                template = self._op_request.get(op_id)
+                if template is None:  # pragma: no cover - ledger invariant
+                    continue
+                probe = replace(template, attempt=attempt)
+                if self.net.scheduler.post(Envelope(probe.origin, probe.origin, probe)):
+                    if self.hedge_after is not None:
+                        self._push_launch(
+                            self._hedge_wheel,
+                            self._hedge_rounds,
+                            round_no + self.hedge_after,
+                            op_id,
+                            attempt,
+                        )
+                else:
+                    # the origin no longer exists: no probe can ever be
+                    # answered (replies address the origin), so spending
+                    # the remaining attempts would only defer the truth
+                    self.collector.force_timeout(op_id, round_no)
+        rounds = self._hedge_rounds
+        while rounds and rounds[0] <= round_no:
+            for op_id, attempt in self._hedge_wheel.pop(heapq.heappop(rounds), ()):
+                issued = outstanding.get(op_id)
+                if issued is None or issued.attempt != attempt:
+                    continue  # answered or retried: the hedge is moot
+                template = self._op_request.get(op_id)
+                if template is None:  # pragma: no cover - ledger invariant
+                    continue
+                probe = replace(template, attempt=attempt, hedge=True)
+                if self.net.scheduler.post(Envelope(probe.origin, probe.origin, probe)):
+                    self.collector.hedges_issued += 1
+                    if self.attempt_log is not None:
+                        self.attempt_log.append(("hedge", op_id, attempt, round_no))
+
+    def _on_expiry(self, issued: IssuedOp, round_no: int) -> None:
+        """Timeout observer: suspect the first hop the op routed through
+        (a lease, re-armed by every further expiry through the hop)."""
+        hop = self._first_hop.get(issued.op_id)
+        if hop is not None:
+            self._suspects[hop] = round_no + self.suspect_lease
+
+    def _on_complete(self, record) -> None:
+        """Completion observer: release per-op state, refute suspicion."""
+        self._op_request.pop(record.op_id, None)
+        hop = self._first_hop.pop(record.op_id, None)
+        if hop is not None and record.routed:
+            # a delivered answer through this hop is positive evidence
+            self._suspects.pop(hop, None)
+
+    # ------------------------------------------------------------------
     # per-peer handler (called from ReChordPeer.step)
     # ------------------------------------------------------------------
     def handle(self, peer: "ReChordPeer", payloads: Sequence[Any], ctx: RoundContext) -> None:
         """Process the traffic payloads delivered to one peer this round."""
+        if self._suspects:
+            # any delivery the peer processes refutes its suspicion: a
+            # black-holed peer never consumes traffic, a slow one does
+            self._suspects.pop(peer.state.peer_id, None)
         view: Optional[Sequence[int]] = None
         for payload in payloads:
             if isinstance(payload, LookupRequest):
@@ -403,7 +617,13 @@ class TrafficPlane:
             # and ids are distinct, so the argmin is unique)
             best = view[bisect_right(view, me) % len(view)]
             rule = "fallback"
-        if best in req.path:
+        if self.route_redundancy > 1:
+            best = self._redundant_choice(me, req, view, rule, space)
+            if best is None:
+                # every redundant candidate already held the request
+                self._reply(req, ST_LOOP, me, ctx)
+                return
+        elif best in req.path:
             self._reply(req, ST_LOOP, me, ctx)
             return
         if req.hops + 1 > req.ttl:
@@ -414,7 +634,48 @@ class TrafficPlane:
             # record the forwarding decision this hop took (the trace
             # rides outside payload equality: behavior is unchanged)
             fwd = replace(fwd, trace=req.trace.extended(me, ctx.round_no, rule))
+        if self.route_redundancy > 1 and req.hops == 0 and me == req.origin:
+            # remember the first hop each attempt routes through so a
+            # later expiry can suspect it (and a delivery refute it)
+            self._first_hop[req.op_id] = best
         ctx.send(best, fwd)
+
+    def _redundant_choice(
+        self, me: int, req: LookupRequest, view: Sequence[int], rule: str, space
+    ) -> Optional[int]:
+        """Pick among the r best candidates, demoting suspected hops.
+
+        Candidate order is best-progress first: under the greedy rule
+        the r circular predecessors of ``kid`` that still lie in the
+        progress arc ``(me, kid]``; under the seam fallback the r
+        closest clockwise neighbors (the believed successor chain).
+        Candidates already on the request path are skipped (the same
+        loop discipline as the r=1 plane), then the best *unsuspected*
+        candidate wins; if every fresh candidate is suspected, the best
+        one is used anyway — last resort beats black-holing.  With an
+        empty suspicion ledger and a path-free primary candidate this
+        returns exactly the r=1 decision.
+        """
+        n = len(view)
+        cands: List[int] = []
+        if rule == "greedy":
+            i = bisect_right(view, req.kid) - 1
+            for j in range(min(self.route_redundancy, n)):
+                cand = view[(i - j) % n]
+                if not space.between_open_closed(me, cand, req.kid):
+                    break  # walking ccw from kid left the progress arc
+                cands.append(cand)
+        else:
+            i = bisect_right(view, me)
+            for j in range(min(self.route_redundancy, n)):
+                cands.append(view[(i + j) % n])
+        fresh = [c for c in cands if c not in req.path]
+        if not fresh:
+            return None
+        for cand in fresh:
+            if cand not in self._suspects:
+                return cand
+        return fresh[0]
 
     def _terminal(self, me: int, req: LookupRequest, ctx: RoundContext) -> None:
         """Execute the operation at the self-believed responsible peer."""
@@ -423,7 +684,9 @@ class TrafficPlane:
         # of peer state + payload): sample who is really responsible NOW,
         # while the answer is produced; churn during the reply's transit
         # round must not reclassify a correct answer as a misroute
-        self.collector.note_answer_truth(req.op_id, self.true_owner(req.kid))
+        self.collector.note_answer_truth(
+            req.op_id, self.true_owner(req.kid), attempt=req.attempt, hedged=req.hedge
+        )
         value = None
         if req.op == OP_PUT:
             if self.store is None:  # pragma: no cover - guarded at issue
@@ -456,6 +719,8 @@ class TrafficPlane:
             owner=owner,
             hops=req.hops,
             value=value,
+            attempt=req.attempt,
+            hedge=req.hedge,
             # the terminal hop closes the causal trace with its status
             trace=(
                 req.trace.extended(owner, ctx.round_no, status)
@@ -516,10 +781,13 @@ class TrafficPlane:
     def run_round(self) -> None:
         """One round of the traffic-carrying network.
 
-        Injects the generator's arrivals for this round (if a generator
-        is attached), executes one synchronous round, then sweeps
-        deadline expirations.
+        Launches due retry/hedge probes (resilient plane only), injects
+        the generator's arrivals for this round (if a generator is
+        attached), executes one synchronous round, then sweeps deadline
+        expirations.
         """
+        if self.resilience_enabled:
+            self._launch_due()
         if self.generator is not None:
             self.generator.inject()
         self.net.run_round()
@@ -533,17 +801,58 @@ class TrafficPlane:
     def drain(self, max_rounds: int = 512) -> int:
         """Run without new injections until no op is outstanding.
 
-        Deadlines bound this loop; raises if ops are still outstanding
-        after ``max_rounds`` (a stuck ledger is a bug, not a timeout).
+        Pending retry/hedge relaunches still fire (an op in backoff is
+        outstanding work, not a new injection).  Deadlines bound this
+        loop; raises a diagnostic error listing the stuck ops if any are
+        still outstanding after ``max_rounds`` (a stuck ledger is a bug,
+        not a timeout).
         """
         executed = 0
         while self.collector.outstanding:
             if executed >= max_rounds:
-                raise RuntimeError(
-                    f"{len(self.collector.outstanding)} ops still outstanding "
-                    f"after {executed} rounds"
-                )
+                raise RuntimeError(self._drain_diagnostic(executed))
+            if self.resilience_enabled:
+                self._launch_due()
             self.net.run_round()
             self.collector.expire(self.net.round_no)
             executed += 1
         return executed
+
+    def _drain_diagnostic(self, executed: int, limit: int = 16) -> str:
+        """Describe the stuck ledger: op ids, statuses, deadlines.
+
+        A drain that exhausts its round budget used to die with a bare
+        count; debugging one meant re-running under a debugger.  The
+        diagnostic lists each stuck op's identity, current attempt, and
+        whether it is awaiting a reply (with its deadline round) or
+        sitting in a retry backoff (with its relaunch round).
+        """
+        outstanding = self.collector.outstanding
+        relaunch: Dict[int, int] = {}
+        for wheel in (self._retry_wheel, self._hedge_wheel):
+            for launch_round, entries in wheel.items():
+                for op_id, _attempt in entries:
+                    if op_id in outstanding:
+                        prior = relaunch.get(op_id)
+                        if prior is None or launch_round < prior:
+                            relaunch[op_id] = launch_round
+        lines = []
+        for op_id in sorted(outstanding)[:limit]:
+            issued = outstanding[op_id]
+            if op_id in relaunch:
+                status = (
+                    f"in backoff, relaunch at r{relaunch[op_id]}, "
+                    f"deadline r{issued.deadline}"
+                )
+            else:
+                status = f"awaiting reply, deadline r{issued.deadline}"
+            lines.append(
+                f"op {op_id} ({issued.op} kid={issued.kid} origin={issued.origin} "
+                f"attempt={issued.attempt}, issued r{issued.issue_round}): {status}"
+            )
+        extra = len(outstanding) - min(len(outstanding), limit)
+        tail = f" (+{extra} more)" if extra else ""
+        return (
+            f"{len(outstanding)} ops still outstanding after {executed} rounds "
+            f"(now r{self.net.round_no}):\n  " + "\n  ".join(lines) + tail
+        )

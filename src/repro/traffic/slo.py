@@ -95,7 +95,14 @@ MODE_STREAMING = "streaming"
 
 @dataclass(frozen=True)
 class IssuedOp:
-    """Registration of one in-flight operation."""
+    """Registration of one in-flight operation.
+
+    ``attempt`` is the 1-based attempt currently in flight (bumped by
+    the resilient plane on every retry relaunch) and ``deadline_span``
+    the per-attempt deadline budget in rounds, kept so a retry can
+    re-register the op with a fresh deadline measured from its own
+    launch round.  Both stay at their defaults when resilience is off.
+    """
 
     op_id: int
     op: str
@@ -103,6 +110,8 @@ class IssuedOp:
     kid: int
     issue_round: int
     deadline: int
+    attempt: int = 1
+    deadline_span: int = 0
 
 
 @dataclass(frozen=True)
@@ -118,6 +127,10 @@ class CompletedOp:
     outcome: str
     hops: Optional[int]
     value: object = None
+    #: which attempt produced the terminal verdict (1 without retries)
+    attempt: int = 1
+    #: True when the winning reply came from a hedged duplicate probe
+    hedged: bool = False
     #: causal hop trace of a telemetry-sampled op (None otherwise);
     #: compare=False keeps record equality independent of tracing
     trace: object = field(compare=False, default=None)
@@ -287,8 +300,41 @@ class SLOCollector:
         self.max_violation_records = max_violation_records
         #: truth sampled when the terminal peer *answered* (the plane
         #: records it per op); replies transit for a round, and churn in
-        #: that round must not turn a correct answer into a "misroute"
-        self._answer_truth: Dict[int, Optional[int]] = {}
+        #: that round must not turn a correct answer into a "misroute".
+        #: With resilience enabled the values are small per-attempt maps
+        #: ``{(attempt, hedged): truth}`` (several probes of one op can
+        #: answer at different rounds with different truths); without it
+        #: the historical flat ``op_id -> truth`` layout is kept so the
+        #: default path allocates nothing extra
+        self._answer_truth: Dict[int, object] = {}
+        # -- resilient request plane (all inert until the plane opts in) --
+        #: set by TrafficPlane when retries/hedges/redundant routing are
+        #: configured; gates the extra summary keys and per-attempt state
+        self.resilience_enabled = False
+        #: plane-installed hook: ``(issued, round_no) -> IssuedOp | None``
+        #: — return a re-registered replacement to retry instead of
+        #: completing the op as a failure, or None to let it complete
+        self.retry_handler: Optional[Callable[[IssuedOp, int], Optional[IssuedOp]]] = None
+        #: plane-installed observer called on every deadline expiry
+        #: (before any retry decision) — feeds the suspicion ledger
+        self.timeout_observer: Optional[Callable[[IssuedOp, int], None]] = None
+        #: plane-installed observer called once per terminal completion
+        #: — releases per-op plane state (request templates, first hops)
+        self.completion_observer: Optional[Callable[[CompletedOp], None]] = None
+        #: retry relaunches scheduled (incremented by the plane)
+        self.retries = 0
+        #: duplicate hedge probes actually launched (plane-incremented)
+        self.hedges_issued = 0
+        #: routed completions whose winning reply came from a hedge probe
+        self.hedge_wins = 0
+        #: failure replies from a superseded attempt, suppressed instead
+        #: of double-counting a retried op
+        self.stale_replies = 0
+        #: completion count per winning attempt number (both modes exact)
+        self.attempts_histogram: Dict[int, int] = {}
+        #: routed completions won by the first attempt vs. by a retry
+        self.first_attempt_success = 0
+        self.eventual_success = 0
         # -- deadline wheel: deadline_round -> [op_id] + heap of rounds --
         self._wheel: Dict[int, List[int]] = {}
         self._wheel_rounds: List[int] = []
@@ -340,36 +386,122 @@ class SLOCollector:
         """Operations in flight (closed-loop generators throttle on this)."""
         return len(self.outstanding)
 
-    def note_answer_truth(self, op_id: int, truth: Optional[int]) -> None:
-        """Record who was *really* responsible when the op was answered."""
-        self._answer_truth[op_id] = truth
+    def note_answer_truth(
+        self,
+        op_id: int,
+        truth: Optional[int],
+        attempt: int = 1,
+        hedged: bool = False,
+    ) -> None:
+        """Record who was *really* responsible when the op was answered.
+
+        With resilience enabled the note is keyed per probe — several
+        attempts of one op can terminate at different peers in different
+        rounds, and each reply must be classified against the membership
+        sampled when *its* answer was produced.
+        """
+        if self.resilience_enabled:
+            slot = self._answer_truth.get(op_id)
+            if slot is None:
+                slot = self._answer_truth[op_id] = {}
+            slot[(attempt, hedged)] = truth
+        else:
+            self._answer_truth[op_id] = truth
+
+    def _truth_for(self, reply: LookupReply) -> Optional[int]:
+        if self.resilience_enabled:
+            slot = self._answer_truth.get(reply.op_id)
+            if slot is not None:
+                key = (reply.attempt, reply.hedge)
+                if key in slot:
+                    return slot[key]
+            return self._true_owner(reply.kid)
+        if reply.op_id in self._answer_truth:
+            return self._answer_truth[reply.op_id]
+        return self._true_owner(reply.kid)
 
     def on_reply(self, reply: LookupReply, round_no: int) -> None:
         """Record a reply consumed by its origin peer during ``round_no``.
 
         The wheel entry is *not* touched: the op unlinks lazily when its
         deadline bucket drains (the popped id is no longer outstanding).
+
+        Resilient dedup rules (inert without a retry handler):
+
+        * a **successful** reply always wins and completes the op, even
+          when it belongs to a superseded attempt (the late original of
+          a retried op, or the losing probe of a hedge race);
+        * a **failure** reply from a superseded attempt is suppressed
+          (``stale_replies``) — the newer attempt is still racing, and
+          completing here would double-count the op;
+        * a failure reply from the *current* attempt consults the
+          plane's retry handler before completing, so in-band failures
+          (loop/ttl/dead_end/misroute) are retried exactly like
+          deadline expiries.
         """
-        issued = self.outstanding.pop(reply.op_id, None)
+        issued = self.outstanding.get(reply.op_id)
         if issued is None:
             self.late_replies += 1
             self._answer_truth.pop(reply.op_id, None)
             return
         if reply.status in ROUTED_OUTCOMES:
-            if reply.op_id in self._answer_truth:
-                truth = self._answer_truth[reply.op_id]
-            else:
-                truth = self._true_owner(reply.kid)
+            truth = self._truth_for(reply)
             outcome = reply.status if reply.owner == truth else OUT_MISROUTE
         else:
             outcome = reply.status
+        if outcome not in ROUTED_OUTCOMES:
+            if self.resilience_enabled and reply.attempt < issued.attempt:
+                self.stale_replies += 1
+                return
+            if self.retry_handler is not None:
+                replacement = self.retry_handler(issued, round_no)
+                if replacement is not None:
+                    self.rebucket(replacement)
+                    return
+        del self.outstanding[reply.op_id]
         self._complete(
-            issued, round_no, outcome, reply.hops, reply.value, trace=reply.trace
+            issued,
+            round_no,
+            outcome,
+            reply.hops,
+            reply.value,
+            trace=reply.trace,
+            attempt=reply.attempt,
+            hedged=reply.hedge,
         )
 
     def fail_unissued(self, issued: IssuedOp, round_no: int) -> None:
         """The op could not even be injected (origin not registered)."""
         self._complete(issued, round_no, OUT_ORIGIN_DEAD, None)
+
+    def force_timeout(self, op_id: int, round_no: int) -> bool:
+        """Complete an outstanding op as ``timeout`` immediately.
+
+        Used by the resilient plane when a retry relaunch finds the
+        origin gone: no probe can ever be answered (replies address the
+        origin), so the op's verdict is already known.  Returns False if
+        the op was not outstanding.
+        """
+        issued = self.outstanding.pop(op_id, None)
+        if issued is None:
+            return False
+        self._complete(issued, round_no, OUT_TIMEOUT, None, attempt=issued.attempt)
+        return True
+
+    def rebucket(self, replacement: IssuedOp) -> None:
+        """Replace an outstanding op's registration (retry relaunch).
+
+        The superseded wheel entry is left in place: the expiry sweep
+        skips any bucketed op whose *current* deadline lies in the
+        future, exactly like a lazily-unlinked completion.
+        """
+        self.outstanding[replacement.op_id] = replacement
+        bucket = self._wheel.get(replacement.deadline)
+        if bucket is None:
+            self._wheel[replacement.deadline] = [replacement.op_id]
+            heapq.heappush(self._wheel_rounds, replacement.deadline)
+        else:
+            bucket.append(replacement.op_id)
 
     def expire(self, round_no: int) -> int:
         """Time out every outstanding op whose deadline has passed.
@@ -377,17 +509,30 @@ class SLOCollector:
         Pops the due deadline buckets — O(due) per sweep, never a scan
         of all outstanding ops.  Ops already completed (reply consumed,
         possibly in this very round) were unlinked lazily and are
-        skipped; an empty or fully-unlinked bucket costs one pop.
+        skipped, as are ops a retry re-registered under a later deadline
+        (their stale bucket entry outlived the re-registration); an
+        empty or fully-unlinked bucket costs one pop.  Returns the
+        number of ops that actually timed out (retried ops excluded).
         """
         expired = 0
         rounds = self._wheel_rounds
         while rounds and rounds[0] <= round_no:
             due_round = heapq.heappop(rounds)
             for op_id in self._wheel.pop(due_round, ()):
-                issued = self.outstanding.pop(op_id, None)
-                if issued is None:
-                    continue  # answered before its deadline bucket drained
-                self._complete(issued, round_no, OUT_TIMEOUT, None)
+                issued = self.outstanding.get(op_id)
+                if issued is None or issued.deadline > round_no:
+                    continue  # answered, or re-registered by a retry
+                if self.timeout_observer is not None:
+                    self.timeout_observer(issued, round_no)
+                if self.retry_handler is not None:
+                    replacement = self.retry_handler(issued, round_no)
+                    if replacement is not None:
+                        self.rebucket(replacement)
+                        continue
+                del self.outstanding[op_id]
+                self._complete(
+                    issued, round_no, OUT_TIMEOUT, None, attempt=issued.attempt
+                )
                 expired += 1
         return expired
 
@@ -399,6 +544,8 @@ class SLOCollector:
         hops: Optional[int],
         value: object = None,
         trace: object = None,
+        attempt: int = 1,
+        hedged: bool = False,
     ) -> None:
         self._answer_truth.pop(issued.op_id, None)
         record = CompletedOp(
@@ -411,11 +558,24 @@ class SLOCollector:
             outcome=outcome,
             hops=hops,
             value=value,
+            attempt=attempt,
+            hedged=hedged,
             trace=trace,
         )
         routed = record.outcome in ROUTED_OUTCOMES
         self.completed_count += 1
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if self.resilience_enabled:
+            self.attempts_histogram[attempt] = (
+                self.attempts_histogram.get(attempt, 0) + 1
+            )
+            if routed:
+                if hedged:
+                    self.hedge_wins += 1
+                if attempt == 1:
+                    self.first_attempt_success += 1
+                else:
+                    self.eventual_success += 1
         if routed:
             latency = record.latency
             self.routed_count += 1
@@ -463,6 +623,8 @@ class SLOCollector:
                 or len(self.violations) < self.max_violation_records
             ):
                 self.violations.append(record)
+        if self.completion_observer is not None:
+            self.completion_observer(record)
 
     # ------------------------------------------------------------------
     # derived metrics
@@ -538,4 +700,17 @@ class SLOCollector:
                     out[f"latency_p{round(q * 100)}_sketch"] = round(
                         sketch.value(), 2
                     )
+        if self.resilience_enabled:
+            # resilient-plane census; gated so default summaries (and
+            # every baseline built on them) keep their historical keys.
+            # All of these are exact running counters in both modes.
+            out["retries"] = self.retries
+            out["stale_replies"] = self.stale_replies
+            out["hedges_issued"] = self.hedges_issued
+            out["hedge_wins"] = self.hedge_wins
+            out["first_attempt_success"] = self.first_attempt_success
+            out["eventual_success"] = self.eventual_success
+            out["attempts"] = {
+                str(k): v for k, v in sorted(self.attempts_histogram.items())
+            }
         return out

@@ -171,3 +171,55 @@ class TestNotSelfStabilizing:
         net = _rechord_two_rings(ids, SPACE)
         net.run_until_stable(max_rounds=5000)
         assert net.matches_ideal()
+
+
+class TestSuccessorListHelpers:
+    """The shared maintenance pattern (`chord/routing.py`) the baseline
+    node delegates to: dedup-and-truncate merge + dead-entry pruning."""
+
+    def test_merge_prepends_successor_and_truncates(self):
+        from repro.chord.routing import merge_successor_list
+
+        assert merge_successor_list(20, (30, 40, 50, 60), me=10, length=3) == [20, 30, 40]
+
+    def test_merge_drops_duplicates_keeping_first_occurrence(self):
+        from repro.chord.routing import merge_successor_list
+
+        # 20 advertised again, 30 advertised twice: first position wins
+        assert merge_successor_list(20, (20, 30, 30, 40, 30), me=10, length=8) == [20, 30, 40]
+
+    def test_merge_never_includes_self(self):
+        from repro.chord.routing import merge_successor_list
+
+        assert merge_successor_list(20, (10, 30, 10, 40), me=10, length=8) == [20, 30, 40]
+
+    def test_merge_empty_advertisement_keeps_successor(self):
+        from repro.chord.routing import merge_successor_list
+
+        assert merge_successor_list(20, (), me=10, length=4) == [20]
+
+    def test_prune_drops_dead_entries_preserving_order(self):
+        from repro.chord.routing import prune_successor_list
+
+        alive = {20, 40, 50}
+        assert prune_successor_list([20, 30, 40, 50], alive.__contains__) == [20, 40, 50]
+
+    def test_prune_all_dead_yields_empty(self):
+        from repro.chord.routing import prune_successor_list
+
+        assert prune_successor_list([30, 60], lambda _p: False) == []
+
+    def test_node_successor_list_survives_duplicates_and_deaths(self):
+        """End to end: the baseline ring converges to pruned, deduped,
+        truncated successor lists even after a crash."""
+        ids = some_ids(10, seed=3)
+        net = ChordNetwork.perfect_ring(ids, SPACE)
+        net.run(30)
+        victim = sorted(ids)[1]
+        net.crash(victim)
+        net.run(30)
+        for pid, peer in net.peers.items():
+            lst = peer.successor_list
+            assert victim not in lst
+            assert pid not in lst
+            assert len(lst) == len(set(lst)) <= peer.successor_list_len
